@@ -1,0 +1,713 @@
+// Command xbsim drives the Cross Binary Simulation Points toolchain from
+// the shell: profile binaries, inspect mappable points, emit PinPoints-
+// style region files, simulate, and regenerate the paper's figures and
+// tables.
+//
+// Usage:
+//
+//	xbsim benchmarks
+//	xbsim profile   -bench gcc -target 32u
+//	xbsim map       -bench gcc
+//	xbsim points    -bench gcc -flavor vli -target 64o -o points.json
+//	xbsim simulate  -bench gcc -target 32u
+//	xbsim estimate  -bench gcc -flavor vli
+//	xbsim figures   [-quick] [-benchmarks gcc,apsi] [-only fig4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"xbsim"
+	"xbsim/internal/bbv"
+	"xbsim/internal/callloop"
+	"xbsim/internal/experiment"
+	"xbsim/internal/markerstats"
+	"xbsim/internal/report"
+	"xbsim/internal/trace"
+	"xbsim/internal/validate"
+	"xbsim/internal/xrand"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	if err := run(os.Args[1], os.Args[2:], os.Stdout); err != nil {
+		if err == errUnknownCommand {
+			fmt.Fprintf(os.Stderr, "xbsim: unknown command %q\n", os.Args[1])
+			usage()
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "xbsim:", err)
+		os.Exit(1)
+	}
+}
+
+// errUnknownCommand reports an unrecognized subcommand.
+var errUnknownCommand = fmt.Errorf("unknown command")
+
+// run dispatches a subcommand, writing its output to w.
+func run(command string, args []string, w io.Writer) error {
+	switch command {
+	case "benchmarks":
+		return cmdBenchmarks(w)
+	case "profile":
+		return cmdProfile(args, w)
+	case "map":
+		return cmdMap(args, w)
+	case "points":
+		return cmdPoints(args, w)
+	case "simulate":
+		return cmdSimulate(args, w)
+	case "estimate":
+		return cmdEstimate(args, w)
+	case "figures", "experiment":
+		return cmdFigures(args, w)
+	case "ablations":
+		return cmdAblations(args, w)
+	case "markers":
+		return cmdMarkers(args, w)
+	case "trace":
+		return cmdTrace(args, w)
+	case "verify":
+		return cmdVerify(args, w)
+	case "callgraph":
+		return cmdCallgraph(args, w)
+	case "phases":
+		return cmdPhases(args, w)
+	case "similarity":
+		return cmdSimilarity(args, w)
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		return errUnknownCommand
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `xbsim — Cross Binary Simulation Points (ISPASS 2007 reproduction)
+
+commands:
+  benchmarks                         list synthesizable benchmarks
+  profile  -bench B -target T       call/branch profile of one binary
+  map      -bench B                  cross-binary mappable point summary
+  points   -bench B -flavor F -target T [-o FILE]
+                                     pick simulation points, emit regions
+  simulate -bench B -target T       full-run CMP$im-style simulation
+  estimate -bench B -flavor F       estimated vs true CPI, all binaries
+  figures  [-quick] [-benchmarks L] [-only ID]
+                                     regenerate the paper's figures/tables
+  ablations [-benchmarks L] [-only S]
+                                     design-choice ablation studies
+  markers  -bench B -target T       rank phase-marker candidates by
+                                     firing-gap regularity
+  trace    -bench B -target T -o F   record an execution trace
+  trace    -info F                   inspect a recorded trace
+  verify   -bench B                  check the cross-binary invariants
+                                     hold for this workload
+  callgraph -bench B [-target T]     annotated call-loop graph
+  phases   -bench B [-flavor F]      phase timeline of the execution
+  similarity -bench B [-target T]    interval similarity heat map
+
+common flags: -ops N (program scale), -interval N (interval size),
+-seed S (input seed)`)
+}
+
+// commonFlags adds the scale/input flags shared by the data commands.
+func commonFlags(fs *flag.FlagSet) (ops *uint64, interval *uint64, seed *uint64) {
+	ops = fs.Uint64("ops", 2_000_000, "approximate abstract operations per run")
+	interval = fs.Uint64("interval", 25_000, "interval size in instructions")
+	seed = fs.Uint64("seed", 0x5EED, "input seed")
+	return
+}
+
+func cmdBenchmarks(w io.Writer) error {
+	for _, n := range xbsim.Benchmarks() {
+		fmt.Fprintln(w, n)
+	}
+	return nil
+}
+
+func buildBenchmark(name string, ops uint64) (*xbsim.Benchmark, error) {
+	if name == "" {
+		return nil, fmt.Errorf("-bench is required")
+	}
+	return xbsim.NewBenchmark(name, ops)
+}
+
+func pickBinary(b *xbsim.Benchmark, target string) (*xbsim.Binary, error) {
+	bin := b.Binary(target)
+	if bin == nil {
+		return nil, fmt.Errorf("unknown target %q (want 32u, 32o, 64u, 64o)", target)
+	}
+	return bin, nil
+}
+
+func cmdProfile(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark name")
+	target := fs.String("target", "32u", "binary configuration")
+	ops, _, seed := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := buildBenchmark(*bench, *ops)
+	if err != nil {
+		return err
+	}
+	bin, err := pickBinary(b, *target)
+	if err != nil {
+		return err
+	}
+	p, err := xbsim.CollectProfile(bin, xbsim.Input{Name: "ref", Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: %d instructions, %d symbols, %d loop pieces\n",
+		bin.Name, p.TotalInstructions, len(p.Procs), len(p.Loops))
+	fmt.Fprintln(w, "procedures:")
+	for _, pp := range p.Procs {
+		fmt.Fprintf(w, "  %-12s line %-4d calls %d\n", pp.Symbol, pp.Line, pp.Count)
+	}
+	fmt.Fprintln(w, "loops (line 0 = debug info destroyed by optimization):")
+	for _, lp := range p.Loops {
+		fmt.Fprintf(w, "  line %-4d piece %d in %-12s entries %-8d iterations %d\n",
+			lp.Line, lp.Piece, lp.EnclosingSymbol, lp.EntryCount, lp.BodyCount)
+	}
+	return nil
+}
+
+func cmdMap(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("map", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark name")
+	ops, _, seed := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := buildBenchmark(*bench, *ops)
+	if err != nil {
+		return err
+	}
+	m, err := xbsim.FindMappablePoints(b.Binaries, xbsim.Input{Name: "ref", Seed: *seed}, xbsim.MappingOptions{})
+	if err != nil {
+		return err
+	}
+	byKind := map[string]int{}
+	for _, pt := range m.Points {
+		byKind[pt.Kind.String()]++
+	}
+	var kinds []string
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Fprintf(w, "%s: %d mappable points across %d binaries\n", *bench, len(m.Points), len(m.Binaries))
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-12s %d\n", k, byKind[k])
+	}
+	fmt.Fprintf(w, "  heuristic-matched inlined loops: %d (ambiguous: %d)\n",
+		m.Diag.HeuristicMatched, m.Diag.HeuristicAmbiguous)
+	for bi, bin := range m.Binaries {
+		fmt.Fprintf(w, "  %-10s loops: %d total, %d without a mappable entry\n",
+			bin.Name, m.Diag.LoopsPerBinary[bi], m.Diag.UnmappedLoopsPerBinary[bi])
+	}
+	return nil
+}
+
+func cmdPoints(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("points", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark name")
+	target := fs.String("target", "32u", "binary configuration")
+	flavor := fs.String("flavor", "vli", "fli (per-binary) or vli (cross-binary)")
+	out := fs.String("o", "", "write PinPoints-style JSON here (default stdout)")
+	ops, interval, seed := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := buildBenchmark(*bench, *ops)
+	if err != nil {
+		return err
+	}
+	bin, err := pickBinary(b, *target)
+	if err != nil {
+		return err
+	}
+	in := xbsim.Input{Name: "ref", Seed: *seed}
+	cfg := xbsim.PointsConfig{IntervalSize: *interval}
+
+	var ps *xbsim.PointSet
+	switch *flavor {
+	case "fli":
+		ps, err = xbsim.PerBinaryPoints(bin, in, cfg)
+	case "vli":
+		var cross *xbsim.CrossPoints
+		cross, err = xbsim.CrossBinaryPoints(b.Binaries, in, cfg)
+		if err == nil {
+			for bi, bb := range b.Binaries {
+				if bb == bin {
+					ps, err = cross.ForBinary(bi)
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("unknown flavor %q", *flavor)
+	}
+	if err != nil {
+		return err
+	}
+	f, err := ps.RegionFile(in)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := f.Save(*out); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d regions to %s\n", len(f.Regions), *out)
+		return nil
+	}
+	return f.Write(w)
+}
+
+func cmdSimulate(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark name")
+	target := fs.String("target", "32u", "binary configuration")
+	ops, _, seed := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := buildBenchmark(*bench, *ops)
+	if err != nil {
+		return err
+	}
+	bin, err := pickBinary(b, *target)
+	if err != nil {
+		return err
+	}
+	st, err := xbsim.SimulateFull(bin, xbsim.Input{Name: "ref", Seed: *seed}, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: %d instructions, %d cycles, CPI %.3f\n",
+		bin.Name, st.Instructions, st.Cycles, st.CPI())
+	names := []string{"L1D", "L2D", "L3D"}
+	for i := range st.LevelHits {
+		fmt.Fprintf(w, "  %s: %d hits, %d misses (miss rate %.2f%%)\n",
+			names[i], st.LevelHits[i], st.LevelMisses[i], st.MissRate(i)*100)
+	}
+	fmt.Fprintf(w, "  DRAM accesses: %d\n", st.MemoryAccesses)
+	return nil
+}
+
+func cmdEstimate(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark name")
+	flavor := fs.String("flavor", "vli", "fli or vli")
+	ops, interval, seed := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := buildBenchmark(*bench, *ops)
+	if err != nil {
+		return err
+	}
+	in := xbsim.Input{Name: "ref", Seed: *seed}
+	cfg := xbsim.PointsConfig{IntervalSize: *interval}
+
+	var cross *xbsim.CrossPoints
+	if *flavor == "vli" {
+		cross, err = xbsim.CrossBinaryPoints(b.Binaries, in, cfg)
+		if err != nil {
+			return err
+		}
+	} else if *flavor != "fli" {
+		return fmt.Errorf("unknown flavor %q", *flavor)
+	}
+	fmt.Fprintf(w, "%-10s %12s %10s %10s %8s\n", "binary", "instructions", "true CPI", "est CPI", "error")
+	for bi, bin := range b.Binaries {
+		var ps *xbsim.PointSet
+		if cross != nil {
+			ps, err = cross.ForBinary(bi)
+		} else {
+			ps, err = xbsim.PerBinaryPoints(bin, in, cfg)
+		}
+		if err != nil {
+			return err
+		}
+		est, err := xbsim.EstimateCPI(bin, in, ps, nil)
+		if err != nil {
+			return err
+		}
+		full, err := xbsim.SimulateFull(bin, in, nil)
+		if err != nil {
+			return err
+		}
+		e := (est - full.CPI()) / full.CPI()
+		fmt.Fprintf(w, "%-10s %12d %10.3f %10.3f %+7.2f%%\n",
+			bin.Name, full.Instructions, full.CPI(), est, e*100)
+	}
+	return nil
+}
+
+func cmdFigures(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "use the reduced five-benchmark configuration")
+	benchList := fs.String("benchmarks", "", "comma-separated benchmark subset")
+	only := fs.String("only", "", "emit a single artifact: table1, fig1..fig5, table2, table3")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of the ASCII report")
+	detail := fs.Bool("detail", false, "emit per-benchmark detail (per-binary tables, speedups, phase timeline)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := xbsim.FullExperimentConfig()
+	if *quick {
+		cfg = xbsim.QuickExperimentConfig()
+	}
+	if *benchList != "" {
+		cfg.Benchmarks = strings.Split(*benchList, ",")
+	}
+	if *only == "table1" {
+		return report.Table1(w, cfg.Hierarchy)
+	}
+	suite, err := xbsim.RunExperiments(cfg)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		if *only != "" {
+			return fmt.Errorf("-json emits the whole suite; drop -only")
+		}
+		return suite.WriteJSON(w)
+	}
+	if *detail {
+		return report.SuiteDetail(w, suite)
+	}
+	switch *only {
+	case "":
+		return xbsim.WriteReport(w, suite)
+	case "fig1", "fig2", "fig3", "fig4", "fig5":
+		for _, f := range suite.Figures() {
+			if f.ID == *only {
+				return report.Figure(w, f)
+			}
+		}
+		return fmt.Errorf("figure %q not produced", *only)
+	case "table2":
+		tables, err := suite.PhaseBiasTables("gcc", experiment.Pair{Name: "32u64u", A: 0, B: 2}, 3)
+		if err != nil {
+			return err
+		}
+		return report.PhaseBias(w, tables)
+	case "table3":
+		tables, err := suite.PhaseBiasTables("apsi", experiment.Pair{Name: "32o64o", A: 1, B: 3}, 3)
+		if err != nil {
+			return err
+		}
+		return report.PhaseBias(w, tables)
+	default:
+		return fmt.Errorf("unknown artifact %q", *only)
+	}
+}
+
+// cmdAblations runs the design-choice ablation studies (DESIGN.md §5).
+func cmdAblations(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("ablations", flag.ExitOnError)
+	benchList := fs.String("benchmarks", "swim,crafty,applu", "comma-separated benchmark subset")
+	only := fs.String("only", "", "run one study: bic, dim, markers, inline, primary, warming, early")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := xbsim.QuickExperimentConfig()
+	cfg.Benchmarks = strings.Split(*benchList, ",")
+
+	studies := []struct {
+		key string
+		run func() (*experiment.AblationTable, error)
+	}{
+		{"bic", func() (*experiment.AblationTable, error) {
+			return experiment.AblationBICThreshold(cfg, []float64{0.7, 0.9, 1.0})
+		}},
+		{"dim", func() (*experiment.AblationTable, error) {
+			return experiment.AblationProjectionDim(cfg, []int{4, 15, 64})
+		}},
+		{"markers", func() (*experiment.AblationTable, error) {
+			return experiment.AblationMarkerGranularity(cfg)
+		}},
+		{"inline", func() (*experiment.AblationTable, error) {
+			return experiment.AblationInlineHeuristic(cfg)
+		}},
+		{"primary", func() (*experiment.AblationTable, error) {
+			return experiment.AblationPrimaryBinary(cfg)
+		}},
+		{"warming", func() (*experiment.AblationTable, error) {
+			return experiment.AblationWarming(cfg)
+		}},
+		{"early", func() (*experiment.AblationTable, error) {
+			return experiment.AblationEarlyPoints(cfg, []float64{0, 0.25, 1.0})
+		}},
+	}
+	ran := false
+	for _, s := range studies {
+		if *only != "" && s.key != *only {
+			continue
+		}
+		ran = true
+		tab, err := s.run()
+		if err != nil {
+			return err
+		}
+		if err := report.Ablation(w, tab); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown ablation %q", *only)
+	}
+	return nil
+}
+
+// cmdMarkers ranks the binary's markers as phase-marker candidates by
+// firing-gap regularity (Lau et al. CGO 2006 style analysis).
+func cmdMarkers(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("markers", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark name")
+	target := fs.String("target", "32u", "binary configuration")
+	top := fs.Int("top", 15, "show the N best candidates")
+	ops, interval, seed := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := buildBenchmark(*bench, *ops)
+	if err != nil {
+		return err
+	}
+	bin, err := pickBinary(b, *target)
+	if err != nil {
+		return err
+	}
+	stats, err := markerstats.Collect(bin, xbsim.Input{Name: "ref", Seed: *seed})
+	if err != nil {
+		return err
+	}
+	ranked := markerstats.RankForInterval(stats, *interval)
+	if len(ranked) > *top {
+		ranked = ranked[:*top]
+	}
+	fmt.Fprintf(w, "%s: best interval-boundary candidates for target size %d\n", bin.Name, *interval)
+	fmt.Fprintf(w, "  %-12s %-12s %6s %10s %12s %8s\n", "kind", "symbol", "line", "fires", "mean gap", "CV")
+	for _, s := range ranked {
+		cv := "n/a"
+		if !math.IsNaN(s.CV) {
+			cv = fmt.Sprintf("%.3f", s.CV)
+		}
+		fmt.Fprintf(w, "  %-12s %-12s %6d %10d %12.0f %8s\n",
+			s.Kind, s.Symbol, s.Line, s.Count, s.MeanGap, cv)
+	}
+	return nil
+}
+
+// cmdTrace records an execution trace to a file, or inspects one.
+func cmdTrace(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark name")
+	target := fs.String("target", "32u", "binary configuration")
+	out := fs.String("o", "", "output trace file")
+	info := fs.String("info", "", "inspect an existing trace file instead of recording")
+	ops, _, seed := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *info != "" {
+		f, err := os.Open(*info)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		hdr, err := trace.ReadHeader(f)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: trace of %s (%d static blocks, %d markers)\n",
+			*info, hdr.BinaryName, hdr.NumBlocks, hdr.NumMarkers)
+		return nil
+	}
+	if *out == "" {
+		return fmt.Errorf("-o or -info is required")
+	}
+	b, err := buildBenchmark(*bench, *ops)
+	if err != nil {
+		return err
+	}
+	bin, err := pickBinary(b, *target)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Record(f, bin, xbsim.Input{Name: "ref", Seed: *seed}); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "recorded %s to %s (%d bytes)\n", bin.Name, *out, st.Size())
+	return nil
+}
+
+// cmdVerify checks the cross-binary invariants for a benchmark.
+func cmdVerify(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark name")
+	ops, interval, seed := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := buildBenchmark(*bench, *ops)
+	if err != nil {
+		return err
+	}
+	rep, err := validate.CrossBinary(b.Binaries, xbsim.Input{Name: "ref", Seed: *seed}, *interval)
+	if err != nil {
+		return err
+	}
+	for _, c := range rep.Checks {
+		status := "ok  "
+		if !c.OK {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "  %s %-28s %s\n", status, c.Name, c.Detail)
+	}
+	if !rep.OK() {
+		return fmt.Errorf("%s: cross-binary invariants violated", rep.Program)
+	}
+	fmt.Fprintf(w, "%s: all cross-binary invariants hold\n", rep.Program)
+	return nil
+}
+
+// cmdCallgraph prints the annotated call-loop graph of one binary.
+func cmdCallgraph(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("callgraph", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark name")
+	target := fs.String("target", "32u", "binary configuration")
+	hot := fs.Int("hot", 5, "also list the N hottest loops")
+	ops, _, seed := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := buildBenchmark(*bench, *ops)
+	if err != nil {
+		return err
+	}
+	bin, err := pickBinary(b, *target)
+	if err != nil {
+		return err
+	}
+	g, err := callloop.Build(bin, xbsim.Input{Name: "ref", Seed: *seed})
+	if err != nil {
+		return err
+	}
+	if err := g.Write(w); err != nil {
+		return err
+	}
+	hotLoops := g.HottestLoops()
+	if len(hotLoops) > *hot {
+		hotLoops = hotLoops[:*hot]
+	}
+	fmt.Fprintln(w, "hottest loops:")
+	for _, n := range hotLoops {
+		fmt.Fprintf(w, "  %-8s line=%-5d entries=%-8d iterations=%-10d instructions=%d\n",
+			n.Name, n.Line, n.Count, n.Iterations, n.TotalInstructions)
+	}
+	return nil
+}
+
+// cmdPhases prints a phase timeline (the classic SimPoint strip).
+func cmdPhases(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("phases", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark name")
+	target := fs.String("target", "32u", "binary configuration (fli flavor)")
+	flavor := fs.String("flavor", "vli", "fli or vli")
+	width := fs.Int("width", 72, "strip width in characters")
+	ops, interval, seed := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := buildBenchmark(*bench, *ops)
+	if err != nil {
+		return err
+	}
+	in := xbsim.Input{Name: "ref", Seed: *seed}
+	cfg := xbsim.PointsConfig{IntervalSize: *interval}
+	var ps *xbsim.PointSet
+	switch *flavor {
+	case "fli":
+		bin, err := pickBinary(b, *target)
+		if err != nil {
+			return err
+		}
+		ps, err = xbsim.PerBinaryPoints(bin, in, cfg)
+		if err != nil {
+			return err
+		}
+	case "vli":
+		cross, err := xbsim.CrossBinaryPoints(b.Binaries, in, cfg)
+		if err != nil {
+			return err
+		}
+		ps, err = cross.ForBinary(0)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown flavor %q", *flavor)
+	}
+	fmt.Fprintf(w, "%s (%s):\n", *bench, *flavor)
+	return report.PhaseTimeline(w, ps.PhaseOf, *width)
+}
+
+// cmdSimilarity prints the interval similarity matrix heat map (the
+// Sherwood et al. PACT 2001 visualization that motivated SimPoint).
+func cmdSimilarity(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("similarity", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark name")
+	target := fs.String("target", "32u", "binary configuration")
+	size := fs.Int("size", 48, "rendered matrix size in characters")
+	ops, interval, seed := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := buildBenchmark(*bench, *ops)
+	if err != nil {
+		return err
+	}
+	bin, err := pickBinary(b, *target)
+	if err != nil {
+		return err
+	}
+	ds, err := xbsim.CollectIntervalBBVs(bin, xbsim.Input{Name: "ref", Seed: *seed}, *interval)
+	if err != nil {
+		return err
+	}
+	m, err := ds.SimilarityMatrix(15, xrand.New("similarity/"+bin.Name))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s:\n", bin.Name)
+	return bbv.WriteSimilarityMatrix(w, m, *size)
+}

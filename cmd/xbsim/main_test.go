@@ -1,0 +1,223 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xbsim/internal/pinpoints"
+)
+
+// small shared flags keep the CLI tests fast.
+var smallFlags = []string{"-ops", "400000", "-interval", "8000"}
+
+func runCmd(t *testing.T, command string, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(command, args, &sb); err != nil {
+		t.Fatalf("%s %v: %v", command, args, err)
+	}
+	return sb.String()
+}
+
+func TestCmdBenchmarks(t *testing.T) {
+	out := runCmd(t, "benchmarks")
+	lines := strings.Fields(out)
+	if len(lines) != 21 {
+		t.Fatalf("%d benchmarks listed", len(lines))
+	}
+	if !strings.Contains(out, "gcc") || !strings.Contains(out, "applu") {
+		t.Fatal("expected benchmarks missing")
+	}
+}
+
+func TestCmdUnknown(t *testing.T) {
+	var sb strings.Builder
+	if err := run("bogus", nil, &sb); err != errUnknownCommand {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCmdProfile(t *testing.T) {
+	out := runCmd(t, "profile", append([]string{"-bench", "gzip", "-target", "64o"}, smallFlags...)...)
+	for _, want := range []string{"gzip.64o", "procedures:", "main", "loops"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile output missing %q", want)
+		}
+	}
+}
+
+func TestCmdProfileErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run("profile", smallFlags, &sb); err == nil {
+		t.Error("missing -bench accepted")
+	}
+	if err := run("profile", append([]string{"-bench", "gzip", "-target", "99"}, smallFlags...), &sb); err == nil {
+		t.Error("bad target accepted")
+	}
+	if err := run("profile", append([]string{"-bench", "nope"}, smallFlags...), &sb); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestCmdMap(t *testing.T) {
+	out := runCmd(t, "map", append([]string{"-bench", "crafty"}, smallFlags...)...)
+	for _, want := range []string{"mappable points", "proc", "loop-entry", "heuristic-matched"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("map output missing %q", want)
+		}
+	}
+}
+
+func TestCmdPointsStdoutAndFile(t *testing.T) {
+	out := runCmd(t, "points", append([]string{"-bench", "art", "-flavor", "fli", "-target", "32u"}, smallFlags...)...)
+	if !strings.Contains(out, `"flavor": "fli"`) {
+		t.Fatalf("points stdout not a region file:\n%s", out)
+	}
+	path := filepath.Join(t.TempDir(), "points.json")
+	runCmd(t, "points", append([]string{"-bench", "art", "-flavor", "vli", "-target", "64u", "-o", path}, smallFlags...)...)
+	f, err := pinpoints.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Flavor != pinpoints.FlavorVLI || f.Binary != "art.64u" {
+		t.Fatalf("file %+v", f)
+	}
+}
+
+func TestCmdPointsBadFlavor(t *testing.T) {
+	var sb strings.Builder
+	if err := run("points", append([]string{"-bench", "art", "-flavor", "zzz"}, smallFlags...), &sb); err == nil {
+		t.Fatal("bad flavor accepted")
+	}
+}
+
+func TestCmdSimulate(t *testing.T) {
+	out := runCmd(t, "simulate", append([]string{"-bench", "swim", "-target", "32o"}, smallFlags...)...)
+	for _, want := range []string{"swim.32o", "CPI", "L1D", "DRAM accesses"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("simulate output missing %q", want)
+		}
+	}
+}
+
+func TestCmdEstimate(t *testing.T) {
+	out := runCmd(t, "estimate", append([]string{"-bench", "swim", "-flavor", "vli"}, smallFlags...)...)
+	for _, want := range []string{"swim.32u", "swim.64o", "true CPI", "est CPI"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("estimate output missing %q", want)
+		}
+	}
+	if lines := strings.Split(strings.TrimSpace(out), "\n"); len(lines) != 5 {
+		t.Fatalf("estimate printed %d lines, want header + 4 binaries", len(lines))
+	}
+}
+
+func TestCmdFiguresOnlyTable1(t *testing.T) {
+	out := runCmd(t, "figures", "-only", "table1")
+	if !strings.Contains(out, "TABLE 1") || !strings.Contains(out, "512KB") {
+		t.Fatalf("table1 output wrong:\n%s", out)
+	}
+}
+
+func TestCmdFiguresQuickSubset(t *testing.T) {
+	out := runCmd(t, "figures", "-quick", "-benchmarks", "swim", "-only", "fig4")
+	if !strings.Contains(out, "FIG4") || !strings.Contains(out, "swim") {
+		t.Fatalf("fig4 output wrong:\n%s", out)
+	}
+	var sb strings.Builder
+	if err := run("figures", []string{"-quick", "-benchmarks", "swim", "-only", "fig9"}, &sb); err == nil {
+		t.Fatal("unknown artifact accepted")
+	}
+}
+
+func TestCmdAblationsSingle(t *testing.T) {
+	out := runCmd(t, "ablations", "-benchmarks", "swim", "-only", "inline")
+	if !strings.Contains(out, "Inlined-loop heuristic ablation") {
+		t.Fatalf("ablation output wrong:\n%s", out)
+	}
+	var sb strings.Builder
+	if err := run("ablations", []string{"-only", "zzz"}, &sb); err == nil {
+		t.Fatal("unknown ablation accepted")
+	}
+}
+
+func TestCmdMarkers(t *testing.T) {
+	out := runCmd(t, "markers", append([]string{"-bench", "gzip", "-target", "32u", "-top", "5"}, smallFlags...)...)
+	if !strings.Contains(out, "best interval-boundary candidates") || !strings.Contains(out, "mean gap") {
+		t.Fatalf("markers output wrong:\n%s", out)
+	}
+	if lines := strings.Split(strings.TrimSpace(out), "\n"); len(lines) != 7 {
+		t.Fatalf("markers printed %d lines, want 2 header + 5 rows", len(lines))
+	}
+}
+
+func TestCmdTraceRecordAndInfo(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.xbtr")
+	out := runCmd(t, "trace", append([]string{"-bench", "art", "-target", "64o", "-o", path}, smallFlags...)...)
+	if !strings.Contains(out, "recorded art.64o") {
+		t.Fatalf("trace record output wrong:\n%s", out)
+	}
+	info := runCmd(t, "trace", "-info", path)
+	if !strings.Contains(info, "trace of art.64o") {
+		t.Fatalf("trace info output wrong:\n%s", info)
+	}
+	var sb strings.Builder
+	if err := run("trace", smallFlags, &sb); err == nil {
+		t.Fatal("trace without -o/-info accepted")
+	}
+}
+
+func TestCmdFiguresJSON(t *testing.T) {
+	out := runCmd(t, "figures", "-quick", "-benchmarks", "swim", "-json")
+	if !strings.Contains(out, `"benchmarks"`) || !strings.Contains(out, `"figures"`) {
+		t.Fatalf("json output wrong:\n%.200s", out)
+	}
+	var sb strings.Builder
+	if err := run("figures", []string{"-quick", "-benchmarks", "swim", "-json", "-only", "fig1"}, &sb); err == nil {
+		t.Fatal("-json with -only accepted")
+	}
+}
+
+func TestCmdVerify(t *testing.T) {
+	out := runCmd(t, "verify", append([]string{"-bench", "gzip"}, smallFlags...)...)
+	if !strings.Contains(out, "all cross-binary invariants hold") || strings.Contains(out, "FAIL") {
+		t.Fatalf("verify output wrong:\n%s", out)
+	}
+}
+
+func TestCmdCallgraph(t *testing.T) {
+	out := runCmd(t, "callgraph", append([]string{"-bench", "gzip", "-hot", "3"}, smallFlags...)...)
+	if !strings.Contains(out, "proc main") || !strings.Contains(out, "hottest loops:") {
+		t.Fatalf("callgraph output wrong:\n%.300s", out)
+	}
+}
+
+func TestCmdPhases(t *testing.T) {
+	out := runCmd(t, "phases", append([]string{"-bench", "swim", "-flavor", "vli", "-width", "40"}, smallFlags...)...)
+	if !strings.Contains(out, "phases over execution") || !strings.Contains(out, "= phase 0") {
+		t.Fatalf("phases output wrong:\n%s", out)
+	}
+	var sb strings.Builder
+	if err := run("phases", append([]string{"-bench", "swim", "-flavor", "zzz"}, smallFlags...), &sb); err == nil {
+		t.Fatal("bad flavor accepted")
+	}
+}
+
+func TestCmdSimilarity(t *testing.T) {
+	// A size larger than the interval count renders cell-exact, so the
+	// zero diagonal must appear as the darkest shade.
+	out := runCmd(t, "similarity", append([]string{"-bench", "swim", "-size", "4096"}, smallFlags...)...)
+	if !strings.Contains(out, "interval similarity") || !strings.Contains(out, "@") {
+		t.Fatalf("similarity output wrong:\n%.400s", out)
+	}
+}
+
+func TestCmdFiguresDetail(t *testing.T) {
+	out := runCmd(t, "figures", "-quick", "-benchmarks", "swim", "-detail")
+	for _, want := range []string{"== swim", "phases over execution", "pair"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("detail output missing %q", want)
+		}
+	}
+}

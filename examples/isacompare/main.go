@@ -1,0 +1,131 @@
+// ISA comparison: the paper's first motivating scenario. An architect
+// wants to know how much faster (or slower) the 64-bit build of each
+// program runs compared to the 32-bit build — without simulating full
+// executions. Per-binary SimPoint picks different regions for each binary
+// and its biases shift; cross-binary SimPoint simulates the same semantic
+// regions in both and keeps the bias consistent.
+//
+// Run with:
+//
+//	go run ./examples/isacompare
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"xbsim"
+)
+
+func main() {
+	input := xbsim.Input{Name: "ref", Seed: 7}
+	cfg := xbsim.PointsConfig{IntervalSize: 20_000}
+	benchmarks := []string{"gcc", "mcf", "swim", "crafty", "equake"}
+
+	fmt.Println("Estimating 32-bit -> 64-bit speedup (optimized binaries)")
+	fmt.Printf("%-8s %10s | %12s %8s | %12s %8s\n",
+		"bench", "true", "per-binary", "error", "cross-binary", "error")
+
+	for _, name := range benchmarks {
+		bench, err := xbsim.NewBenchmark(name, 1_500_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bin32, bin64 := bench.Binary("32o"), bench.Binary("64o")
+
+		// Ground truth from full simulation.
+		full32, err := xbsim.SimulateFull(bin32, input, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		full64, err := xbsim.SimulateFull(bin64, input, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trueSpeedup := float64(full32.Cycles) / float64(full64.Cycles)
+
+		// Per-binary SimPoint: independent points per binary.
+		fliSpeedup, err := perBinarySpeedup(bench, bin32, bin64, input, cfg,
+			full32.Instructions, full64.Instructions)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Cross-binary SimPoint: one set of points, mapped to both.
+		vliSpeedup, err := crossBinarySpeedup(bench, input, cfg,
+			full32.Instructions, full64.Instructions)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-8s %10.3f | %12.3f %7.2f%% | %12.3f %7.2f%%\n",
+			name, trueSpeedup,
+			fliSpeedup, relErr(trueSpeedup, fliSpeedup)*100,
+			vliSpeedup, relErr(trueSpeedup, vliSpeedup)*100)
+	}
+}
+
+func relErr(truth, est float64) float64 {
+	return math.Abs(truth-est) / truth
+}
+
+// estimatedCycles converts a CPI estimate into cycles using the exact
+// instruction count (cheap to obtain — it needs no timing simulation).
+func estimatedCycles(bin *xbsim.Binary, input xbsim.Input, ps *xbsim.PointSet, instrs uint64) (float64, error) {
+	cpi, err := xbsim.EstimateCPI(bin, input, ps, nil)
+	if err != nil {
+		return 0, err
+	}
+	return cpi * float64(instrs), nil
+}
+
+func perBinarySpeedup(bench *xbsim.Benchmark, a, b *xbsim.Binary, input xbsim.Input,
+	cfg xbsim.PointsConfig, instrA, instrB uint64) (float64, error) {
+	psA, err := xbsim.PerBinaryPoints(a, input, cfg)
+	if err != nil {
+		return 0, err
+	}
+	psB, err := xbsim.PerBinaryPoints(b, input, cfg)
+	if err != nil {
+		return 0, err
+	}
+	cycA, err := estimatedCycles(a, input, psA, instrA)
+	if err != nil {
+		return 0, err
+	}
+	cycB, err := estimatedCycles(b, input, psB, instrB)
+	if err != nil {
+		return 0, err
+	}
+	return cycA / cycB, nil
+}
+
+func crossBinarySpeedup(bench *xbsim.Benchmark, input xbsim.Input,
+	cfg xbsim.PointsConfig, instrA, instrB uint64) (float64, error) {
+	cross, err := xbsim.CrossBinaryPoints(bench.Binaries, input, cfg)
+	if err != nil {
+		return 0, err
+	}
+	idx := map[string]int{}
+	for i, bin := range bench.Binaries {
+		idx[bin.Target.String()] = i
+	}
+	psA, err := cross.ForBinary(idx["32o"])
+	if err != nil {
+		return 0, err
+	}
+	psB, err := cross.ForBinary(idx["64o"])
+	if err != nil {
+		return 0, err
+	}
+	cycA, err := estimatedCycles(bench.Binary("32o"), input, psA, instrA)
+	if err != nil {
+		return 0, err
+	}
+	cycB, err := estimatedCycles(bench.Binary("64o"), input, psB, instrB)
+	if err != nil {
+		return 0, err
+	}
+	return cycA / cycB, nil
+}

@@ -1,0 +1,3 @@
+module xbsim
+
+go 1.22

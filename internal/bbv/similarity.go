@@ -1,0 +1,103 @@
+package bbv
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"xbsim/internal/vecmath"
+	"xbsim/internal/xrand"
+)
+
+// SimilarityMatrix computes the pairwise Euclidean distance matrix of the
+// dataset's intervals after L1 normalization and random projection to dim
+// dimensions — the data behind the similarity-matrix plots of Sherwood et
+// al. (PACT 2001) that first motivated SimPoint: dark off-diagonal bands
+// reveal recurring program phases.
+//
+// The result is symmetric with a zero diagonal, normalized to [0, 1] by
+// the maximum observed distance (all-zero when every interval is
+// identical).
+func (d *Dataset) SimilarityMatrix(dim int, rng *xrand.Stream) ([][]float64, error) {
+	rows, err := d.Project(dim, rng)
+	if err != nil {
+		return nil, err
+	}
+	n := len(rows)
+	m := make([][]float64, n)
+	flat := make([]float64, n*n)
+	for i := range m {
+		m[i] = flat[i*n : (i+1)*n]
+	}
+	maxDist := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dist := vecmath.Distance(rows[i], rows[j])
+			m[i][j], m[j][i] = dist, dist
+			if dist > maxDist {
+				maxDist = dist
+			}
+		}
+	}
+	if maxDist > 0 {
+		for i := range flat {
+			flat[i] /= maxDist
+		}
+	}
+	return m, nil
+}
+
+// shades maps normalized distance to a character: similar intervals are
+// dark, dissimilar light — matching the convention of the original plots.
+var shades = []byte("@#*+:-. ")
+
+// WriteSimilarityMatrix renders a (normalized) distance matrix as an
+// ASCII heat map, downsampled to at most maxDim rows/columns. Execution
+// runs top-to-bottom and left-to-right, so phase structure shows up as
+// dark square blocks on the diagonal and dark off-diagonal bands where
+// behavior recurs.
+func WriteSimilarityMatrix(w io.Writer, m [][]float64, maxDim int) error {
+	n := len(m)
+	if n == 0 {
+		return fmt.Errorf("bbv: empty similarity matrix")
+	}
+	if maxDim <= 0 {
+		maxDim = 64
+	}
+	size := n
+	if size > maxDim {
+		size = maxDim
+	}
+	if _, err := fmt.Fprintf(w, "interval similarity (%dx%d, dark = similar):\n", n, n); err != nil {
+		return err
+	}
+	for r := 0; r < size; r++ {
+		line := make([]byte, size)
+		for c := 0; c < size; c++ {
+			// Average the cell's source region.
+			rLo, rHi := r*n/size, (r+1)*n/size
+			cLo, cHi := c*n/size, (c+1)*n/size
+			var sum float64
+			cnt := 0
+			for i := rLo; i < rHi; i++ {
+				for j := cLo; j < cHi; j++ {
+					sum += m[i][j]
+					cnt++
+				}
+			}
+			v := sum / float64(cnt)
+			idx := int(v * float64(len(shades)))
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			line[c] = shades[idx]
+		}
+		if _, err := fmt.Fprintf(w, "  %s\n", line); err != nil {
+			return err
+		}
+	}
+	if math.IsNaN(m[0][0]) {
+		return fmt.Errorf("bbv: NaN in similarity matrix")
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package bbv
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"xbsim/internal/xrand"
+)
+
+// phasedDatasetForSim alternates two disjoint code signatures A and B.
+func phasedDatasetForSim(n int) *Dataset {
+	ds := NewDataset()
+	v := NewVector()
+	for i := 0; i < n; i++ {
+		v.Reset()
+		base := (i / 4 % 2) * 100 // blocks 0.. or 100.. in alternating groups of 4
+		for b := 0; b < 6; b++ {
+			v.Add(base+b, uint64(50+10*b), 2)
+		}
+		ds.Append(v)
+	}
+	return ds
+}
+
+func TestSimilarityMatrixProperties(t *testing.T) {
+	ds := phasedDatasetForSim(16)
+	m, err := ds.SimilarityMatrix(8, xrand.New("sim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(m)
+	if n != 16 {
+		t.Fatalf("matrix size %d", n)
+	}
+	maxSeen := 0.0
+	for i := 0; i < n; i++ {
+		if m[i][i] != 0 {
+			t.Fatalf("diagonal [%d][%d] = %v", i, i, m[i][i])
+		}
+		for j := 0; j < n; j++ {
+			if m[i][j] != m[j][i] {
+				t.Fatalf("asymmetric at [%d][%d]", i, j)
+			}
+			if m[i][j] < 0 || m[i][j] > 1 || math.IsNaN(m[i][j]) {
+				t.Fatalf("value out of [0,1]: %v", m[i][j])
+			}
+			if m[i][j] > maxSeen {
+				maxSeen = m[i][j]
+			}
+		}
+	}
+	if maxSeen != 1 {
+		t.Fatalf("max normalized distance %v, want 1", maxSeen)
+	}
+	// Same-phase intervals (0 and 1) must be far more similar than
+	// cross-phase intervals (0 and 4).
+	if m[0][1] >= m[0][4] {
+		t.Fatalf("same-phase distance %v not below cross-phase %v", m[0][1], m[0][4])
+	}
+}
+
+func TestSimilarityMatrixIdenticalIntervals(t *testing.T) {
+	ds := NewDataset()
+	v := NewVector()
+	for i := 0; i < 4; i++ {
+		v.Reset()
+		v.Add(0, 10, 3)
+		ds.Append(v)
+	}
+	m, err := ds.SimilarityMatrix(4, xrand.New("flat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] != 0 {
+				t.Fatalf("identical intervals differ at [%d][%d]", i, j)
+			}
+		}
+	}
+}
+
+func TestWriteSimilarityMatrix(t *testing.T) {
+	ds := phasedDatasetForSim(32)
+	m, err := ds.SimilarityMatrix(8, xrand.New("render"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteSimilarityMatrix(&sb, m, 16); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 17 { // header + 16 rows
+		t.Fatalf("%d lines rendered", len(lines))
+	}
+	// The diagonal must render as the darkest shade.
+	if !strings.Contains(lines[1], "@") {
+		t.Fatalf("first row lacks a dark diagonal cell: %q", lines[1])
+	}
+	if err := WriteSimilarityMatrix(&sb, nil, 16); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}
+
+func TestWriteSimilarityMatrixDownsamples(t *testing.T) {
+	ds := phasedDatasetForSim(64)
+	m, err := ds.SimilarityMatrix(8, xrand.New("down"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteSimilarityMatrix(&sb, m, 8); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 9 {
+		t.Fatalf("%d lines for downsampled render", len(lines))
+	}
+	if got := len(strings.TrimPrefix(lines[1], "  ")); got != 8 {
+		t.Fatalf("row width %d, want 8", got)
+	}
+}

@@ -1,0 +1,261 @@
+// Package callloop builds the hierarchical call-loop graph of a program:
+// procedures and loops as nodes, nesting and calls as edges, annotated
+// with execution counts and dynamic instruction attribution.
+//
+// This is the program representation behind Lau, Perelman & Calder's
+// phase-marker selection (CGO 2006), which the paper cites as the
+// foundation for choosing code constructs that align with phase behavior.
+// Cross Binary SimPoint needs the same structural vocabulary (procedure
+// entries, loop entries, loop bodies); the graph makes the structure and
+// its execution weights inspectable — e.g. "which loops dominate
+// execution and how regular is each one?".
+package callloop
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"xbsim/internal/compiler"
+	"xbsim/internal/exec"
+	"xbsim/internal/program"
+)
+
+// Kind classifies a node.
+type Kind int
+
+const (
+	// KindProc is a procedure node.
+	KindProc Kind = iota
+	// KindLoop is a loop node.
+	KindLoop
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == KindLoop {
+		return "loop"
+	}
+	return "proc"
+}
+
+// Node is one procedure or loop.
+type Node struct {
+	// ID indexes Graph.Nodes.
+	ID int
+	// Kind is proc or loop.
+	Kind Kind
+	// Name is the procedure name or "L<line>" for loops.
+	Name string
+	// Line is the source line.
+	Line int
+	// ProcIndex is the source procedure for proc nodes, -1 for loops.
+	ProcIndex int
+	// LoopID is the source loop ID for loop nodes, -1 for procs.
+	LoopID int
+	// Children are nested loops (for both kinds) in source order.
+	Children []int
+	// Calls are the procedure nodes invoked directly from this node's
+	// immediate body (not through nested loops).
+	Calls []int
+
+	// Count is the number of entries (calls / loop entries).
+	Count uint64
+	// Iterations is the total loop iterations (loop nodes only).
+	Iterations uint64
+	// SelfInstructions are dynamic instructions executed in this node's
+	// immediate body (excluding nested loops and callees).
+	SelfInstructions uint64
+	// TotalInstructions include all nested loops and callees.
+	TotalInstructions uint64
+}
+
+// Graph is a program's call-loop graph with execution annotations.
+type Graph struct {
+	// Program is the analyzed program.
+	Program *program.Program
+	// Nodes holds all nodes; Nodes[Roots[i]] are procedure roots.
+	Nodes []Node
+	// ProcNode maps source procedure index to its node.
+	ProcNode []int
+}
+
+// Build constructs the graph from the program structure and annotates it
+// by executing the given binary (use an unoptimized binary: its structure
+// is complete). The binary must be a compilation of the same program.
+func Build(bin *compiler.Binary, in program.Input) (*Graph, error) {
+	if bin == nil {
+		return nil, fmt.Errorf("callloop: nil binary")
+	}
+	p := bin.Program
+	g := &Graph{Program: p, ProcNode: make([]int, len(p.Procs))}
+
+	// Structure pass: one proc node per procedure, loop nodes nested.
+	// lineOwner maps a source line to the node whose immediate body
+	// contains it (for instruction attribution).
+	lineOwner := map[int]int{}
+	loopNode := map[int]int{}
+	for i, proc := range p.Procs {
+		id := len(g.Nodes)
+		g.Nodes = append(g.Nodes, Node{
+			ID: id, Kind: KindProc, Name: proc.Name, Line: proc.Line,
+			ProcIndex: i, LoopID: -1,
+		})
+		g.ProcNode[i] = id
+		lineOwner[proc.Line] = id
+	}
+	var buildStmts func(owner int, stmts []program.Stmt)
+	buildStmts = func(owner int, stmts []program.Stmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *program.Compute:
+				lineOwner[s.Line] = owner
+			case *program.Loop:
+				id := len(g.Nodes)
+				g.Nodes = append(g.Nodes, Node{
+					ID: id, Kind: KindLoop, Name: fmt.Sprintf("L%d", s.Line),
+					Line: s.Line, ProcIndex: -1, LoopID: s.ID,
+				})
+				loopNode[s.ID] = id
+				lineOwner[s.Line] = id
+				g.Nodes[owner].Children = append(g.Nodes[owner].Children, id)
+				buildStmts(id, s.Body)
+			case *program.Call:
+				lineOwner[s.Line] = owner
+				g.Nodes[owner].Calls = append(g.Nodes[owner].Calls, g.ProcNode[s.Callee])
+			}
+		}
+	}
+	for i, proc := range p.Procs {
+		buildStmts(g.ProcNode[i], proc.Body)
+	}
+
+	// Annotation pass: execute the binary, attributing counts and
+	// instructions through block source lines and markers.
+	symNode := map[string]int{}
+	for i := range g.Nodes {
+		if g.Nodes[i].Kind == KindProc {
+			symNode[g.Nodes[i].Name] = i
+		}
+	}
+	ann := &annotator{g: g, bin: bin, lineOwner: lineOwner, loopNode: loopNode, symNode: symNode}
+	if err := exec.Run(bin, in, ann); err != nil {
+		return nil, err
+	}
+
+	// Totals: each node's subtree instructions (self plus nested loops).
+	// Callee weight stays with the callee's own subtree — attributing it
+	// to call sites would need per-site counts, which profiling does not
+	// distinguish.
+	var total func(id int) uint64
+	total = func(id int) uint64 {
+		n := &g.Nodes[id]
+		sum := n.SelfInstructions
+		for _, c := range n.Children {
+			sum += total(c)
+		}
+		return sum
+	}
+	for id := range g.Nodes {
+		g.Nodes[id].TotalInstructions = total(id)
+	}
+	return g, nil
+}
+
+// annotator attributes dynamic execution to graph nodes.
+type annotator struct {
+	g         *Graph
+	bin       *compiler.Binary
+	lineOwner map[int]int
+	loopNode  map[int]int
+	symNode   map[string]int
+}
+
+// OnBlock implements exec.Visitor.
+func (a *annotator) OnBlock(block int) {
+	b := &a.bin.Blocks[block]
+	if owner, ok := a.lineOwner[b.SrcLine]; ok {
+		a.g.Nodes[owner].SelfInstructions += uint64(b.Instrs)
+		return
+	}
+	// Blocks with synthetic lines (entry/latch of transformed loops)
+	// attribute to their source procedure's node.
+	a.g.Nodes[a.g.ProcNode[b.SrcProc]].SelfInstructions += uint64(b.Instrs)
+}
+
+// OnMarker implements exec.Visitor.
+func (a *annotator) OnMarker(marker int) {
+	m := &a.bin.Markers[marker]
+	switch m.Kind {
+	case compiler.MarkerProcEntry:
+		if id, ok := a.symNode[m.Symbol]; ok {
+			a.g.Nodes[id].Count++
+		}
+	case compiler.MarkerLoopEntry:
+		if m.Piece == 0 {
+			if id, ok := a.loopNode[m.SourceLoopID]; ok {
+				a.g.Nodes[id].Count++
+			}
+		}
+	case compiler.MarkerLoopBody:
+		if m.Piece == 0 {
+			if id, ok := a.loopNode[m.SourceLoopID]; ok {
+				a.g.Nodes[id].Iterations++
+			}
+		}
+	}
+}
+
+// HottestLoops returns loop nodes ordered by total subtree instructions,
+// descending.
+func (g *Graph) HottestLoops() []*Node {
+	var loops []*Node
+	for i := range g.Nodes {
+		if g.Nodes[i].Kind == KindLoop {
+			loops = append(loops, &g.Nodes[i])
+		}
+	}
+	sort.Slice(loops, func(i, j int) bool {
+		return loops[i].TotalInstructions > loops[j].TotalInstructions
+	})
+	return loops
+}
+
+// Write renders the graph as an indented tree with execution annotations.
+func (g *Graph) Write(w io.Writer) error {
+	var emit func(id, depth int) error
+	emit = func(id, depth int) error {
+		n := &g.Nodes[id]
+		indent := strings.Repeat("  ", depth)
+		extra := ""
+		if n.Kind == KindLoop {
+			extra = fmt.Sprintf(" iterations=%d", n.Iterations)
+		}
+		calls := ""
+		if len(n.Calls) > 0 {
+			var names []string
+			for _, c := range n.Calls {
+				names = append(names, g.Nodes[c].Name)
+			}
+			calls = " calls=[" + strings.Join(names, ",") + "]"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s line=%d count=%d self=%d total=%d%s%s\n",
+			indent, n.Kind, n.Name, n.Line, n.Count,
+			n.SelfInstructions, n.TotalInstructions, extra, calls); err != nil {
+			return err
+		}
+		for _, c := range n.Children {
+			if err := emit(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := range g.Program.Procs {
+		if err := emit(g.ProcNode[i], 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}

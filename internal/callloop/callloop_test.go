@@ -1,0 +1,173 @@
+package callloop
+
+import (
+	"strings"
+	"testing"
+
+	"xbsim/internal/compiler"
+	"xbsim/internal/exec"
+	"xbsim/internal/program"
+)
+
+var refInput = program.Input{Name: "ref", Seed: 12}
+
+func buildFor(t *testing.T, name string) *Graph {
+	t.Helper()
+	p, err := program.Generate(name, program.GenConfig{TargetOps: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := compiler.MustCompile(p, compiler.Target{Arch: compiler.Arch32, Opt: compiler.O0})
+	g, err := Build(bin, refInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGraphStructure(t *testing.T) {
+	g := buildFor(t, "gzip")
+	// One proc node per source procedure, one loop node per source loop.
+	procs, loops := 0, 0
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case KindProc:
+			procs++
+		case KindLoop:
+			loops++
+		}
+	}
+	if procs != len(g.Program.Procs) {
+		t.Fatalf("%d proc nodes for %d procs", procs, len(g.Program.Procs))
+	}
+	if loops != len(g.Program.Loops()) {
+		t.Fatalf("%d loop nodes for %d loops", loops, len(g.Program.Loops()))
+	}
+	// main's node exists and was entered once.
+	main := &g.Nodes[g.ProcNode[0]]
+	if main.Name != "main" || main.Count != 1 {
+		t.Fatalf("main node %+v", main)
+	}
+}
+
+func TestCountsMatchProfile(t *testing.T) {
+	p, err := program.Generate("crafty", program.GenConfig{TargetOps: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := compiler.MustCompile(p, compiler.Target{Arch: compiler.Arch32, Opt: compiler.O0})
+	g, err := Build(bin, refInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := exec.NewMarkerCounter(bin)
+	if err := exec.Run(bin, refInput, mc); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range bin.Markers {
+		switch m.Kind {
+		case compiler.MarkerProcEntry:
+			for _, n := range g.Nodes {
+				if n.Kind == KindProc && n.Name == m.Symbol && n.Count != mc.Counts[m.ID] {
+					t.Fatalf("proc %s: graph count %d vs marker %d", m.Symbol, n.Count, mc.Counts[m.ID])
+				}
+			}
+		case compiler.MarkerLoopEntry:
+			for _, n := range g.Nodes {
+				if n.Kind == KindLoop && n.LoopID == m.SourceLoopID && n.Count != mc.Counts[m.ID] {
+					t.Fatalf("loop %d: graph count %d vs marker %d", m.SourceLoopID, n.Count, mc.Counts[m.ID])
+				}
+			}
+		}
+	}
+}
+
+func TestInstructionConservation(t *testing.T) {
+	p, err := program.Generate("art", program.GenConfig{TargetOps: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := compiler.MustCompile(p, compiler.Target{Arch: compiler.Arch32, Opt: compiler.O0})
+	g, err := Build(bin, refInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic := exec.NewInstructionCounter(bin)
+	if err := exec.Run(bin, refInput, ic); err != nil {
+		t.Fatal(err)
+	}
+	// Sum of proc-node subtree totals equals the whole execution: every
+	// block is attributed to exactly one node, and proc subtrees
+	// partition the nodes.
+	var sum uint64
+	for i := range g.Program.Procs {
+		sum += g.Nodes[g.ProcNode[i]].TotalInstructions
+	}
+	if sum != ic.Instructions {
+		t.Fatalf("graph attributes %d of %d instructions", sum, ic.Instructions)
+	}
+	// Totals dominate self everywhere.
+	for _, n := range g.Nodes {
+		if n.TotalInstructions < n.SelfInstructions {
+			t.Fatalf("node %s: total %d < self %d", n.Name, n.TotalInstructions, n.SelfInstructions)
+		}
+	}
+}
+
+func TestIterationsAtLeastEntries(t *testing.T) {
+	g := buildFor(t, "swim")
+	for _, n := range g.Nodes {
+		if n.Kind == KindLoop && n.Count > 0 && n.Iterations < n.Count {
+			t.Fatalf("loop %s: %d iterations < %d entries", n.Name, n.Iterations, n.Count)
+		}
+	}
+}
+
+func TestHottestLoops(t *testing.T) {
+	g := buildFor(t, "swim")
+	hot := g.HottestLoops()
+	if len(hot) == 0 {
+		t.Fatal("no loops ranked")
+	}
+	for i := 1; i < len(hot); i++ {
+		if hot[i-1].TotalInstructions < hot[i].TotalInstructions {
+			t.Fatal("HottestLoops not sorted")
+		}
+	}
+	// The hottest loop must carry a meaningful share of the execution.
+	ic := g.Nodes[g.ProcNode[0]].TotalInstructions
+	var all uint64
+	for i := range g.Program.Procs {
+		all += g.Nodes[g.ProcNode[i]].TotalInstructions
+	}
+	_ = ic
+	if frac := float64(hot[0].TotalInstructions) / float64(all); frac < 0.05 {
+		t.Fatalf("hottest loop carries only %.1f%% of execution", frac*100)
+	}
+}
+
+func TestWriteRendering(t *testing.T) {
+	g := buildFor(t, "gzip")
+	var sb strings.Builder
+	if err := g.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"proc main", "loop L", "count=", "calls=[work_0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q", want)
+		}
+	}
+}
+
+func TestBuildNilBinary(t *testing.T) {
+	if _, err := Build(nil, refInput); err == nil {
+		t.Fatal("nil binary accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindProc.String() != "proc" || KindLoop.String() != "loop" {
+		t.Fatal("kind strings wrong")
+	}
+}

@@ -1,0 +1,348 @@
+// Package cmpsim is the repository's stand-in for CMP$im (Jaleel et al.,
+// Intel TR 2006): an in-order core with a three-level non-inclusive data
+// cache hierarchy, configured exactly as the paper's Table 1:
+//
+//	L1D  32KB  2-way   64B lines   3-cycle hit    writeback
+//	L2  512KB  8-way   64B lines  14-cycle hit    writeback
+//	L3 1024KB 16-way   64B lines  35-cycle hit    writeback
+//	DRAM                          250-cycle access
+//
+// The simulator consumes the dynamic block stream from internal/exec,
+// synthesizes each block's data addresses from its memory pattern
+// (strided sweeps or uniform-random touches over the block's working
+// set), and charges an in-order cycle model: one cycle per instruction,
+// an extra cycle per floating-point instruction, the hierarchy latency
+// for loads, and a quarter-latency penalty for (buffered) stores.
+//
+// A Simulator can be gated on and off mid-run, which is how simulation
+// points are measured: the harness runs the full program but only
+// accumulates simulation state inside the chosen regions, exactly like
+// fast-forwarding to a PinPoint.
+package cmpsim
+
+import (
+	"fmt"
+
+	"xbsim/internal/xrand"
+)
+
+// Policy selects a cache level's replacement policy. The paper's
+// configuration uses LRU at every level; the others support replacement-
+// policy studies.
+type Policy int
+
+const (
+	// LRU evicts the least recently used way.
+	LRU Policy = iota
+	// FIFO evicts the oldest-filled way regardless of reuse.
+	FIFO
+	// Random evicts a (deterministically) random way.
+	Random
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "Random"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	// Name is a display label ("L1D", "L2D", "L3D").
+	Name string
+	// CapacityBytes is the total capacity.
+	CapacityBytes uint64
+	// Associativity is the number of ways per set.
+	Associativity int
+	// LineSize is the cache line size in bytes.
+	LineSize uint64
+	// HitLatency is the access latency in cycles on a hit at this level.
+	HitLatency int
+	// Replacement selects the victim policy (zero value = LRU, the
+	// paper's setting).
+	Replacement Policy
+	// NextLinePrefetch, when true, fills line N+1 into this level on a
+	// miss of line N (a simple sequential prefetcher, off in the paper's
+	// Table 1 configuration).
+	NextLinePrefetch bool
+}
+
+// HierarchyConfig describes the full memory system.
+type HierarchyConfig struct {
+	// Levels is ordered nearest-first (L1 ... LLC).
+	Levels []CacheConfig
+	// MemoryLatency is the DRAM access latency in cycles.
+	MemoryLatency int
+}
+
+// DefaultHierarchyConfig returns the paper's Table 1 configuration.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		Levels: []CacheConfig{
+			{Name: "FLC(L1D)", CapacityBytes: 32 << 10, Associativity: 2, LineSize: 64, HitLatency: 3},
+			{Name: "MLC(L2D)", CapacityBytes: 512 << 10, Associativity: 8, LineSize: 64, HitLatency: 14},
+			{Name: "LLC(L3D)", CapacityBytes: 1024 << 10, Associativity: 16, LineSize: 64, HitLatency: 35},
+		},
+		MemoryLatency: 250,
+	}
+}
+
+// Validate checks the configuration is usable.
+func (c HierarchyConfig) Validate() error {
+	if len(c.Levels) == 0 {
+		return fmt.Errorf("cmpsim: no cache levels")
+	}
+	for i, l := range c.Levels {
+		if l.LineSize == 0 || l.LineSize&(l.LineSize-1) != 0 {
+			return fmt.Errorf("cmpsim: level %d line size %d not a power of two", i, l.LineSize)
+		}
+		if l.Associativity <= 0 {
+			return fmt.Errorf("cmpsim: level %d associativity %d", i, l.Associativity)
+		}
+		lines := l.CapacityBytes / l.LineSize
+		if lines == 0 || lines%uint64(l.Associativity) != 0 {
+			return fmt.Errorf("cmpsim: level %d capacity %d not divisible into %d-way sets",
+				i, l.CapacityBytes, l.Associativity)
+		}
+		sets := lines / uint64(l.Associativity)
+		if sets&(sets-1) != 0 {
+			return fmt.Errorf("cmpsim: level %d set count %d not a power of two", i, sets)
+		}
+	}
+	if c.MemoryLatency <= 0 {
+		return fmt.Errorf("cmpsim: memory latency %d", c.MemoryLatency)
+	}
+	return nil
+}
+
+// cacheLine is one way of one set.
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	// use is the LRU timestamp (bigger = more recent).
+	use uint64
+}
+
+// Cache is one set-associative, write-allocate cache level.
+type Cache struct {
+	cfg       CacheConfig
+	sets      [][]cacheLine
+	setMask   uint64
+	lineShift uint
+	clock     uint64
+	rng       *xrand.Stream // Random policy only
+
+	// Hits and Misses count accesses at this level.
+	Hits, Misses uint64
+	// PrefetchFills counts next-line prefetch insertions.
+	PrefetchFills uint64
+}
+
+// NewCache builds a cache from its configuration.
+func NewCache(cfg CacheConfig) *Cache {
+	lines := cfg.CapacityBytes / cfg.LineSize
+	numSets := lines / uint64(cfg.Associativity)
+	sets := make([][]cacheLine, numSets)
+	backing := make([]cacheLine, lines)
+	for i := range sets {
+		sets[i] = backing[uint64(i)*uint64(cfg.Associativity) : (uint64(i)+1)*uint64(cfg.Associativity)]
+	}
+	shift := uint(0)
+	for sz := cfg.LineSize; sz > 1; sz >>= 1 {
+		shift++
+	}
+	c := &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		setMask:   numSets - 1,
+		lineShift: shift,
+	}
+	if cfg.Replacement == Random {
+		c.rng = xrand.New("cmpsim/random-replacement/" + cfg.Name)
+	}
+	return c
+}
+
+// Access looks up the address, filling the line on a miss (LRU victim).
+// It returns whether the access hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.clock++
+	lineAddr := addr >> c.lineShift
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr // the full line address is trivially injective per set
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			if c.cfg.Replacement != FIFO {
+				// FIFO ranks by fill time only; reuse does not refresh.
+				set[i].use = c.clock
+			}
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	// Fill: prefer an invalid way, otherwise the policy's victim.
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if victim < 0 || set[i].use < set[victim].use {
+			victim = i
+		}
+	}
+	if victim >= 0 && set[victim].valid && c.cfg.Replacement == Random {
+		victim = c.rng.Intn(len(set))
+	}
+	set[victim] = cacheLine{tag: tag, valid: true, use: c.clock}
+	if c.cfg.NextLinePrefetch {
+		c.prefetch(addr + c.cfg.LineSize)
+	}
+	return false
+}
+
+// prefetch inserts a line without touching the demand hit/miss counters.
+func (c *Cache) prefetch(addr uint64) {
+	lineAddr := addr >> c.lineShift
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return // already resident
+		}
+	}
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if victim < 0 || set[i].use < set[victim].use {
+			victim = i
+		}
+	}
+	if victim >= 0 && set[victim].valid && c.cfg.Replacement == Random {
+		victim = c.rng.Intn(len(set))
+	}
+	// Insert at LRU-adjacent priority (use = clock, like a demand fill;
+	// simple and adequate for a next-line prefetcher).
+	set[victim] = cacheLine{tag: tag, valid: true, use: c.clock}
+	c.PrefetchFills++
+}
+
+// Reset clears all cache contents and statistics.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = cacheLine{}
+		}
+	}
+	c.clock, c.Hits, c.Misses, c.PrefetchFills = 0, 0, 0, 0
+}
+
+// Config returns the level's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Hierarchy is the multi-level memory system.
+type Hierarchy struct {
+	levels []*Cache
+	memLat int
+}
+
+// NewHierarchy builds the hierarchy; the config must validate.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{memLat: cfg.MemoryLatency}
+	for _, l := range cfg.Levels {
+		h.levels = append(h.levels, NewCache(l))
+	}
+	return h, nil
+}
+
+// Access performs a data access and returns its latency in cycles: the hit
+// latency of the nearest level that holds the line, or the DRAM latency.
+// Misses allocate the line at every level on the way down (non-inclusive
+// fill-on-miss).
+func (h *Hierarchy) Access(addr uint64) int {
+	for _, c := range h.levels {
+		if c.Access(addr) {
+			return c.cfg.HitLatency
+		}
+	}
+	return h.memLat
+}
+
+// Levels exposes the cache levels for statistics reporting.
+func (h *Hierarchy) Levels() []*Cache { return h.levels }
+
+// Reset clears all levels.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.levels {
+		c.Reset()
+	}
+}
+
+// Random-access locality mixture: real pointer-chasing code keeps a hot
+// core (node headers, free lists) that dominates accesses. A fraction
+// hotFraction of random accesses land in the first hotSetBytes of the
+// working set; the rest are uniform over the whole set. Without this,
+// multi-megabyte random working sets would miss on essentially every
+// access and produce CPIs far beyond anything the paper's machines show.
+const (
+	hotSetBytes = 16 << 10
+	hotFraction = 0.9
+)
+
+// addressGen synthesizes the address stream for one *source* compute
+// statement's memory pattern. Strided patterns sweep a cursor across the
+// working set; random patterns touch hash-derived lines with a hot/cold
+// locality mixture.
+//
+// Generators are shared per source statement (keyed by source line), not
+// per static block, and the random addresses are a pure function of
+// (seed, line, access ordinal). Because every binary of a program executes
+// the same semantic access sequence, the i-th access of a statement hits
+// the same address in every binary — as real data-dependent access
+// patterns do. Without this, sampled regions would see independent
+// address noise per binary, which breaks the cross-binary bias
+// consistency the paper measures.
+type addressGen struct {
+	base    uint64
+	ws      uint64
+	stride  uint64
+	random  bool
+	cursor  uint64
+	seed    uint64
+	line    uint64
+	counter uint64
+}
+
+func (g *addressGen) next() uint64 {
+	if g.random {
+		h := xrand.Hash3(g.seed, g.line, g.counter)
+		g.counter++
+		span := g.ws
+		// Top byte decides hot vs cold; the rest picks the line.
+		if span > hotSetBytes && float64(h>>56)/256 < hotFraction {
+			span = hotSetBytes
+		}
+		return g.base + ((h % span) &^ 63)
+	}
+	a := g.base + g.cursor
+	g.cursor += g.stride
+	if g.cursor >= g.ws {
+		g.cursor -= g.ws
+	}
+	return a
+}

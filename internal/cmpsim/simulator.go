@@ -1,0 +1,291 @@
+package cmpsim
+
+import (
+	"fmt"
+
+	"xbsim/internal/compiler"
+	"xbsim/internal/program"
+	"xbsim/internal/xrand"
+)
+
+// CoreConfig models the in-order core's execution parameters. The paper's
+// CMP$im configuration corresponds to DefaultCoreConfig (single-issue,
+// 2-cycle FP, quarter-latency buffered stores).
+type CoreConfig struct {
+	// IssueWidth is how many non-memory instructions retire per cycle.
+	IssueWidth int
+	// FPExtraCycles is added per floating-point instruction.
+	FPExtraCycles int
+	// StoreLatencyShare divides the miss latency charged to (buffered)
+	// stores; 4 means stores cost a quarter of a load's stall.
+	StoreLatencyShare int
+}
+
+// DefaultCoreConfig returns the paper's in-order core.
+func DefaultCoreConfig() CoreConfig {
+	return CoreConfig{IssueWidth: 1, FPExtraCycles: 1, StoreLatencyShare: 4}
+}
+
+// Validate checks the core parameters.
+func (c CoreConfig) Validate() error {
+	if c.IssueWidth <= 0 {
+		return fmt.Errorf("cmpsim: issue width %d", c.IssueWidth)
+	}
+	if c.FPExtraCycles < 0 {
+		return fmt.Errorf("cmpsim: negative FP latency")
+	}
+	if c.StoreLatencyShare <= 0 {
+		return fmt.Errorf("cmpsim: store latency share %d", c.StoreLatencyShare)
+	}
+	return nil
+}
+
+// Stats accumulates simulation results over the enabled portion of a run.
+type Stats struct {
+	// Instructions is the number of instructions simulated.
+	Instructions uint64
+	// Cycles is the number of cycles charged.
+	Cycles uint64
+	// Loads and Stores count simulated data accesses.
+	Loads, Stores uint64
+	// LevelHits[i] / LevelMisses[i] are per-cache-level access outcomes.
+	LevelHits, LevelMisses []uint64
+	// MemoryAccesses counts accesses that went all the way to DRAM.
+	MemoryAccesses uint64
+}
+
+// CPI returns cycles per instruction, or 0 when nothing was simulated.
+func (s *Stats) CPI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Instructions)
+}
+
+// MissRate returns the miss rate at cache level i, or 0 with no accesses.
+func (s *Stats) MissRate(i int) float64 {
+	total := s.LevelHits[i] + s.LevelMisses[i]
+	if total == 0 {
+		return 0
+	}
+	return float64(s.LevelMisses[i]) / float64(total)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other *Stats) {
+	s.Instructions += other.Instructions
+	s.Cycles += other.Cycles
+	s.Loads += other.Loads
+	s.Stores += other.Stores
+	s.MemoryAccesses += other.MemoryAccesses
+	for i := range s.LevelHits {
+		s.LevelHits[i] += other.LevelHits[i]
+		s.LevelMisses[i] += other.LevelMisses[i]
+	}
+}
+
+// Simulator is an exec.Visitor that performs timing simulation of the
+// block stream. It can be gated: while disabled it ignores events
+// entirely, modeling fast-forwarding to a simulation region.
+type Simulator struct {
+	bin  *compiler.Binary
+	hier *Hierarchy
+
+	// gens holds per-block address generator state (index = block ID; nil
+	// for blocks without memory traffic).
+	gens []*addressGen
+	// stackGen is the shared spill-address generator.
+	stackGen *addressGen
+
+	core    CoreConfig
+	enabled bool
+	warming bool
+	stats   Stats
+}
+
+// NewSimulator builds a simulator for the binary with the given memory
+// system and the paper's default core. It starts enabled.
+func NewSimulator(bin *compiler.Binary, cfg HierarchyConfig) (*Simulator, error) {
+	return NewSimulatorWithCore(bin, cfg, DefaultCoreConfig())
+}
+
+// NewSimulatorWithCore builds a simulator with an explicit core model,
+// for architecture-exploration studies that vary the core as well as the
+// memory system.
+func NewSimulatorWithCore(bin *compiler.Binary, cfg HierarchyConfig, core CoreConfig) (*Simulator, error) {
+	if bin == nil {
+		return nil, fmt.Errorf("cmpsim: nil binary")
+	}
+	if err := core.Validate(); err != nil {
+		return nil, err
+	}
+	hier, err := NewHierarchy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		bin:     bin,
+		hier:    hier,
+		gens:    make([]*addressGen, len(bin.Blocks)),
+		core:    core,
+		enabled: true,
+		warming: true,
+	}
+	s.stats.LevelHits = make([]uint64, len(hier.levels))
+	s.stats.LevelMisses = make([]uint64, len(hier.levels))
+	// The address seed is keyed by the PROGRAM, not the binary: the same
+	// source statement touches the same addresses in every binary of the
+	// program (see addressGen).
+	seed := xrand.New("cmpsim/mem/" + bin.Program.Name).Uint64()
+	// Generators are shared across blocks lowered from the same source
+	// statement (inline clones), keyed by source line.
+	byLine := map[int]*addressGen{}
+	for i := range bin.Blocks {
+		b := &bin.Blocks[i]
+		if b.Loads+b.Stores == 0 {
+			continue
+		}
+		if g, ok := byLine[b.SrcLine]; ok && b.SrcLine > 0 {
+			s.gens[i] = g
+			continue
+		}
+		ws := b.Mem.WorkingSet &^ 63
+		if ws < 64 {
+			ws = 64
+		}
+		g := &addressGen{
+			base:   uint64(b.Mem.Region+1) << 36,
+			ws:     ws,
+			stride: b.Mem.Stride,
+			random: b.Mem.Class == program.MemRandom,
+			seed:   seed,
+			line:   uint64(b.SrcLine),
+		}
+		if g.stride == 0 && !g.random {
+			g.stride = 8
+		}
+		s.gens[i] = g
+		if b.SrcLine > 0 {
+			byLine[b.SrcLine] = g
+		}
+	}
+	stack := bin.StackMem()
+	s.stackGen = &addressGen{
+		base:   uint64(stack.Region+1) << 36,
+		ws:     stack.WorkingSet,
+		stride: stack.Stride,
+	}
+	return s, nil
+}
+
+// SetEnabled gates statistics accumulation on or off. While disabled the
+// simulator by default still performs every cache access (functional
+// warming, as CMP$im does while fast-forwarding to a PinPoint) so regions
+// start with realistically warm caches; only the timing statistics are
+// suppressed. See SetFunctionalWarming.
+func (s *Simulator) SetEnabled(v bool) { s.enabled = v }
+
+// SetFunctionalWarming controls whether cache accesses are performed
+// while statistics are gated off. It defaults to true; turning it off
+// models a fast-forwarding simulator with no warming, so every region
+// starts with whatever stale cache state the previous region left — the
+// cold-start bias the warming ablation quantifies.
+func (s *Simulator) SetFunctionalWarming(v bool) { s.warming = v }
+
+// FunctionalWarming reports the warming mode.
+func (s *Simulator) FunctionalWarming() bool { return s.warming }
+
+// Enabled reports the current gate state.
+func (s *Simulator) Enabled() bool { return s.enabled }
+
+// Stats returns the accumulated statistics.
+func (s *Simulator) Stats() *Stats { return &s.stats }
+
+// TakeStats returns the accumulated statistics and resets the counters
+// (cache contents are preserved). Used to collect per-region results.
+func (s *Simulator) TakeStats() Stats {
+	out := s.stats
+	out.LevelHits = append([]uint64(nil), s.stats.LevelHits...)
+	out.LevelMisses = append([]uint64(nil), s.stats.LevelMisses...)
+	s.stats.Instructions, s.stats.Cycles = 0, 0
+	s.stats.Loads, s.stats.Stores = 0, 0
+	s.stats.MemoryAccesses = 0
+	for i := range s.stats.LevelHits {
+		s.stats.LevelHits[i] = 0
+		s.stats.LevelMisses[i] = 0
+	}
+	return out
+}
+
+// Hierarchy exposes the memory system (for reporting Table 1 and level
+// statistics).
+func (s *Simulator) Hierarchy() *Hierarchy { return s.hier }
+
+// OnBlock implements exec.Visitor: charge the block's instructions and
+// simulate its data accesses. While disabled, accesses still update cache
+// state (warming) but nothing is charged.
+func (s *Simulator) OnBlock(block int) {
+	enabled := s.enabled
+	if !enabled && !s.warming {
+		return
+	}
+	b := &s.bin.Blocks[block]
+	base := uint64(b.Instrs)
+	if w := uint64(s.core.IssueWidth); w > 1 {
+		base = (base + w - 1) / w
+	}
+	cycles := base + uint64(b.FPInstrs)*uint64(s.core.FPExtraCycles)
+	storeShare := uint64(s.core.StoreLatencyShare)
+
+	if g := s.gens[block]; g != nil {
+		for i := 0; i < b.Loads; i++ {
+			lat := s.access(g.next(), enabled)
+			cycles += uint64(lat - 1)
+		}
+		for i := 0; i < b.Stores; i++ {
+			lat := s.access(g.next(), enabled)
+			// Stores retire through a store buffer; charge a fraction of
+			// the miss latency.
+			cycles += uint64(lat-1) / storeShare
+		}
+	}
+	if b.SpillLoads+b.SpillStores > 0 {
+		for i := 0; i < b.SpillLoads; i++ {
+			lat := s.access(s.stackGen.next(), enabled)
+			cycles += uint64(lat - 1)
+		}
+		for i := 0; i < b.SpillStores; i++ {
+			lat := s.access(s.stackGen.next(), enabled)
+			cycles += uint64(lat-1) / storeShare
+		}
+	}
+	if enabled {
+		s.stats.Instructions += uint64(b.Instrs)
+		s.stats.Cycles += cycles
+		s.stats.Loads += uint64(b.Loads) + uint64(b.SpillLoads)
+		s.stats.Stores += uint64(b.Stores) + uint64(b.SpillStores)
+	}
+}
+
+// OnMarker implements exec.Visitor.
+func (s *Simulator) OnMarker(int) {}
+
+// access performs one hierarchy access, recording per-level outcomes only
+// when stats recording is on.
+func (s *Simulator) access(addr uint64, record bool) int {
+	for li, c := range s.hier.levels {
+		if c.Access(addr) {
+			if record {
+				s.stats.LevelHits[li]++
+			}
+			return c.cfg.HitLatency
+		}
+		if record {
+			s.stats.LevelMisses[li]++
+		}
+	}
+	if record {
+		s.stats.MemoryAccesses++
+	}
+	return s.hier.memLat
+}

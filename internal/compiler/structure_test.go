@@ -1,0 +1,166 @@
+package compiler
+
+import (
+	"testing"
+
+	"xbsim/internal/program"
+)
+
+// walkBodies visits every LBody in the binary, including inline clones.
+func walkBodies(b *Binary, fn func(*LBody, bool)) {
+	var walkStmts func(stmts []LStmt)
+	walkStmts = func(stmts []LStmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *LLoop:
+				for _, p := range s.Pieces {
+					walkStmts(p.Body)
+				}
+			case *LCall:
+				if s.Inlined != nil {
+					fn(s.Inlined, true)
+					walkStmts(s.Inlined.Stmts)
+				}
+			}
+		}
+	}
+	for _, proc := range b.Procs {
+		if proc != nil {
+			fn(proc, false)
+			walkStmts(proc.Stmts)
+		}
+	}
+}
+
+// TestLoweredStructureInvariants walks every binary of every benchmark and
+// checks structural well-formedness of the lowered form.
+func TestLoweredStructureInvariants(t *testing.T) {
+	for _, name := range program.Benchmarks() {
+		p, err := program.Generate(name, program.GenConfig{TargetOps: 150_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tg := range AllTargets {
+			b := MustCompile(p, tg)
+			checkBinaryStructure(t, b)
+		}
+	}
+}
+
+func checkBinaryStructure(t *testing.T, b *Binary) {
+	t.Helper()
+	validBlock := func(id int) bool { return id >= 0 && id < len(b.Blocks) }
+
+	walkBodies(b, func(body *LBody, inlined bool) {
+		if inlined && body.EntryBlock != -1 {
+			t.Fatalf("%s: inline clone of proc %d has an entry block", b.Name, body.ProcIndex)
+		}
+		if !inlined && !validBlock(body.EntryBlock) {
+			t.Fatalf("%s: proc %d entry block %d invalid", b.Name, body.ProcIndex, body.EntryBlock)
+		}
+	})
+
+	var walkStmts func(stmts []LStmt)
+	walkStmts = func(stmts []LStmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *LBlock:
+				if !validBlock(s.Block) {
+					t.Fatalf("%s: LBlock with invalid block %d", b.Name, s.Block)
+				}
+			case *LLoop:
+				if s.Unroll < 1 {
+					t.Fatalf("%s: loop %d unroll %d", b.Name, s.SourceID, s.Unroll)
+				}
+				if len(s.Pieces) < 1 || len(s.Pieces) > 2 {
+					t.Fatalf("%s: loop %d has %d pieces", b.Name, s.SourceID, len(s.Pieces))
+				}
+				for _, p := range s.Pieces {
+					if !validBlock(p.EntryBlock) || !validBlock(p.LatchBlock) {
+						t.Fatalf("%s: loop %d piece blocks invalid", b.Name, s.SourceID)
+					}
+					walkStmts(p.Body)
+				}
+			case *LCall:
+				if s.Inlined == nil && !validBlock(s.SiteBlock) {
+					t.Fatalf("%s: call to %d with invalid site block", b.Name, s.Callee)
+				}
+				if s.Inlined != nil && s.SiteBlock != -1 {
+					t.Fatalf("%s: inlined call to %d kept a site block", b.Name, s.Callee)
+				}
+				if s.Inlined != nil {
+					walkStmts(s.Inlined.Stmts)
+				}
+			}
+		}
+	}
+	for _, proc := range b.Procs {
+		if proc != nil {
+			walkStmts(proc.Stmts)
+		}
+	}
+
+	// Inline clones must never carry procedure-entry markers, and every
+	// marker's enclosing symbol (when set) must exist in the symbol
+	// table.
+	for _, m := range b.Markers {
+		if m.Kind == compiler_MarkerProcEntry_alias && b.SymbolByName(m.Symbol) == nil {
+			t.Fatalf("%s: proc marker for unknown symbol %q", b.Name, m.Symbol)
+		}
+		if m.EnclosingSymbol != "" && b.SymbolByName(m.EnclosingSymbol) == nil {
+			t.Fatalf("%s: marker %d enclosed by unknown symbol %q", b.Name, m.ID, m.EnclosingSymbol)
+		}
+	}
+}
+
+// alias keeps the check readable inside the package.
+const compiler_MarkerProcEntry_alias = MarkerProcEntry
+
+// TestEveryExecutedBlockReachable cross-checks that all blocks referenced
+// by the lowered tree exist and that no block is orphaned from both the
+// tree and the marker table in unoptimized binaries (optimized binaries
+// may drop inlined procs' standalone lowering entirely).
+func TestEveryExecutedBlockReachable(t *testing.T) {
+	p, err := program.Generate("vortex", program.GenConfig{TargetOps: 150_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := MustCompile(p, Target{Arch32, O0})
+	reached := make([]bool, len(b.Blocks))
+	mark := func(id int) {
+		if id >= 0 {
+			reached[id] = true
+		}
+	}
+	var walkStmts func(stmts []LStmt)
+	walkStmts = func(stmts []LStmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *LBlock:
+				mark(s.Block)
+			case *LLoop:
+				for _, piece := range s.Pieces {
+					mark(piece.EntryBlock)
+					mark(piece.LatchBlock)
+					walkStmts(piece.Body)
+				}
+			case *LCall:
+				mark(s.SiteBlock)
+				if s.Inlined != nil {
+					walkStmts(s.Inlined.Stmts)
+				}
+			}
+		}
+	}
+	for _, proc := range b.Procs {
+		if proc != nil {
+			mark(proc.EntryBlock)
+			walkStmts(proc.Stmts)
+		}
+	}
+	for id, ok := range reached {
+		if !ok {
+			t.Fatalf("block %d unreachable from the lowered tree", id)
+		}
+	}
+}

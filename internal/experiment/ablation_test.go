@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// ablationConfig is an extra-small configuration so every ablation test
+// stays fast.
+func ablationConfig() Config {
+	cfg := QuickConfig()
+	cfg.Benchmarks = []string{"swim", "crafty"}
+	cfg.TargetOps = 500_000
+	cfg.IntervalSize = 8_000
+	return cfg
+}
+
+func checkTable(t *testing.T, tab *AblationTable, rows int) {
+	t.Helper()
+	if len(tab.Rows) != rows {
+		t.Fatalf("%s: %d rows, want %d", tab.Title, len(tab.Rows), rows)
+	}
+	for _, r := range tab.Rows {
+		if len(r.Values) != len(tab.Columns) {
+			t.Fatalf("%s/%s: %d values for %d columns", tab.Title, r.Label, len(r.Values), len(tab.Columns))
+		}
+		for i, v := range r.Values {
+			if v < 0 {
+				t.Fatalf("%s/%s: negative %s = %v", tab.Title, r.Label, tab.Columns[i], v)
+			}
+		}
+	}
+}
+
+func TestAblationBICThreshold(t *testing.T) {
+	tab, err := AblationBICThreshold(ablationConfig(), []float64{0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 2)
+	// A lower threshold accepts smaller k, so it cannot pick more points.
+	if tab.Rows[0].Values[0] > tab.Rows[1].Values[0] {
+		t.Fatalf("threshold 0.5 picked more points (%v) than 0.9 (%v)",
+			tab.Rows[0].Values[0], tab.Rows[1].Values[0])
+	}
+}
+
+func TestAblationProjectionDim(t *testing.T) {
+	tab, err := AblationProjectionDim(ablationConfig(), []int{4, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 2)
+}
+
+func TestAblationMarkerGranularity(t *testing.T) {
+	tab, err := AblationMarkerGranularity(ablationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 3)
+	// Procedure-only boundaries are sparser, so intervals must be at
+	// least as large as with the full marker vocabulary.
+	procsOnly := tab.Rows[0].Values[1]
+	full := tab.Rows[2].Values[1]
+	if procsOnly < full {
+		t.Fatalf("procs-only intervals (%vx) smaller than full vocabulary (%vx)", procsOnly, full)
+	}
+}
+
+func TestAblationInlineHeuristic(t *testing.T) {
+	tab, err := AblationInlineHeuristic(ablationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 2)
+}
+
+func TestAblationPrimaryBinary(t *testing.T) {
+	cfg := ablationConfig()
+	cfg.Benchmarks = []string{"swim"}
+	tab, err := AblationPrimaryBinary(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 4)
+	// Choosing an optimized (smaller) binary as primary makes its VLIs
+	// >= target there, but mapped intervals EXPAND in the unoptimized
+	// binaries; choosing the unoptimized primary shrinks them. So the
+	// interval-size multiple must be larger with an optimized primary
+	// (rows 1 and 3) than the 32u primary (row 0).
+	if tab.Rows[1].Values[1] <= tab.Rows[0].Values[1] {
+		t.Fatalf("optimized primary (%vx) did not expand intervals vs unoptimized (%vx)",
+			tab.Rows[1].Values[1], tab.Rows[0].Values[1])
+	}
+}

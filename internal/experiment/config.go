@@ -1,0 +1,127 @@
+// Package experiment orchestrates the paper's evaluation: for each
+// benchmark it builds the four binaries, profiles them, runs per-binary
+// SimPoint (FLI) and cross-binary mappable SimPoint (VLI), simulates the
+// chosen regions on the CMP$im substitute, and compares both estimates
+// against full-run simulation. The outputs feed Figures 1-5 and Tables
+// 2-3 (internal/report renders them).
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+
+	"xbsim/internal/cmpsim"
+	"xbsim/internal/compiler"
+	"xbsim/internal/mapping"
+	"xbsim/internal/program"
+)
+
+// Config parameterizes a full evaluation sweep.
+type Config struct {
+	// Benchmarks are the benchmark names to run (program.Benchmarks()
+	// subset). Empty means all.
+	Benchmarks []string
+	// TargetOps scales each benchmark's total abstract operation count.
+	TargetOps uint64
+	// IntervalSize is the interval size in dynamic instructions: the FLI
+	// size for every binary and the minimum VLI size on the primary. The
+	// paper uses 100M; the synthetic runs are ~1000x smaller.
+	IntervalSize uint64
+	// MaxK caps SimPoint clusters; the paper uses 10.
+	MaxK int
+	// Dim is SimPoint's projection dimensionality (paper/SimPoint: 15).
+	Dim int
+	// BICThreshold is SimPoint's model-selection threshold (default 0.9).
+	BICThreshold float64
+	// Restarts is the per-k k-means restart count.
+	Restarts int
+	// Seed names the top-level random stream.
+	Seed string
+	// Input is the program input (the "ref" input).
+	Input program.Input
+	// Hierarchy is the simulated memory system (defaults to Table 1).
+	Hierarchy cmpsim.HierarchyConfig
+	// Mapping tunes the mappable-point matchers.
+	Mapping mapping.Options
+	// Primary selects the primary binary by index into
+	// compiler.AllTargets (default 0 = 32-bit unoptimized).
+	Primary int
+	// DisableWarming turns off functional cache warming during
+	// fast-forwarding in region simulations. The warming ablation shows
+	// the cold-start bias this introduces for small regions.
+	DisableWarming bool
+	// EarlyTolerance > 0 enables early simulation points: each phase
+	// picks the earliest interval within (1 + tolerance) of the
+	// centroid-closest one, trading a little representativeness for less
+	// fast-forwarding (Perelman et al., PACT 2003).
+	EarlyTolerance float64
+	// Parallelism caps concurrent benchmark pipelines (default NumCPU).
+	Parallelism int
+}
+
+// QuickConfig is a reduced configuration for tests and go-test benches:
+// five representative benchmarks at small scale.
+func QuickConfig() Config {
+	cfg := FullConfig()
+	cfg.Benchmarks = []string{"gcc", "apsi", "applu", "mcf", "swim"}
+	cfg.TargetOps = 1_200_000
+	cfg.IntervalSize = 12_000
+	return cfg
+}
+
+// FullConfig is the paper-shaped configuration: all 21 benchmarks, four
+// binaries each, ~100+ intervals per run.
+func FullConfig() Config {
+	return Config{
+		Benchmarks:   program.Benchmarks(),
+		TargetOps:    8_000_000,
+		IntervalSize: 60_000,
+		MaxK:         10,
+		Dim:          15,
+		BICThreshold: 0.9,
+		Restarts:     5,
+		Seed:         "xbsim",
+		Input:        program.Input{Name: "ref", Seed: 0x5EED},
+		Hierarchy:    cmpsim.DefaultHierarchyConfig(),
+	}
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if len(c.Benchmarks) == 0 {
+		c.Benchmarks = program.Benchmarks()
+	}
+	if c.TargetOps == 0 {
+		c.TargetOps = 8_000_000
+	}
+	if c.IntervalSize == 0 {
+		c.IntervalSize = 60_000
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 10
+	}
+	if c.Dim <= 0 {
+		c.Dim = 15
+	}
+	if c.BICThreshold <= 0 {
+		c.BICThreshold = 0.9
+	}
+	if c.Restarts <= 0 {
+		c.Restarts = 5
+	}
+	if c.Seed == "" {
+		c.Seed = "xbsim"
+	}
+	if c.Input == (program.Input{}) {
+		c.Input = program.Input{Name: "ref", Seed: 0x5EED}
+	}
+	if len(c.Hierarchy.Levels) == 0 {
+		c.Hierarchy = cmpsim.DefaultHierarchyConfig()
+	}
+	if c.Primary < 0 || c.Primary >= len(compiler.AllTargets) {
+		return c, fmt.Errorf("experiment: primary binary index %d out of range", c.Primary)
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c, nil
+}

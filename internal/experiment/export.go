@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Export schema: a stable, NaN-free JSON projection of a Suite for
+// plotting and downstream analysis (`xbsim figures -json`).
+
+// MethodExport is one estimation method's summary for one binary.
+type MethodExport struct {
+	K                 int     `json:"k"`
+	NumPoints         int     `json:"numPoints"`
+	NumIntervals      int     `json:"numIntervals"`
+	AvgIntervalInstrs float64 `json:"avgIntervalInstrs"`
+	EstCPI            float64 `json:"estCPI"`
+	CPIError          float64 `json:"cpiError"`
+}
+
+// RunExport is one binary's results.
+type RunExport struct {
+	Binary       string       `json:"binary"`
+	Instructions uint64       `json:"instructions"`
+	TrueCycles   uint64       `json:"trueCycles"`
+	TrueCPI      float64      `json:"trueCPI"`
+	FLI          MethodExport `json:"fli"`
+	VLI          MethodExport `json:"vli"`
+}
+
+// PairExport is one speedup configuration's outcome.
+type PairExport struct {
+	Pair         string  `json:"pair"`
+	TrueSpeedup  float64 `json:"trueSpeedup"`
+	FLIEstimated float64 `json:"fliEstimated"`
+	VLIEstimated float64 `json:"vliEstimated"`
+	FLIError     float64 `json:"fliError"`
+	VLIError     float64 `json:"vliError"`
+}
+
+// BenchmarkExport is one benchmark's results.
+type BenchmarkExport struct {
+	Name           string       `json:"name"`
+	MappablePoints int          `json:"mappablePoints"`
+	Runs           []RunExport  `json:"runs"`
+	Pairs          []PairExport `json:"pairs"`
+}
+
+// SuiteExport is the whole evaluation.
+type SuiteExport struct {
+	IntervalSize uint64            `json:"intervalSize"`
+	TargetOps    uint64            `json:"targetOps"`
+	MaxK         int               `json:"maxK"`
+	Benchmarks   []BenchmarkExport `json:"benchmarks"`
+	Figures      []*Figure         `json:"figures"`
+}
+
+func methodExport(ms *MethodStats) MethodExport {
+	return MethodExport{
+		K:                 ms.K,
+		NumPoints:         ms.NumPoints,
+		NumIntervals:      ms.NumIntervals,
+		AvgIntervalInstrs: ms.AvgIntervalInstrs,
+		EstCPI:            ms.EstCPI,
+		CPIError:          ms.CPIError,
+	}
+}
+
+// Export builds the JSON projection of the suite.
+func (s *Suite) Export() *SuiteExport {
+	out := &SuiteExport{
+		IntervalSize: s.Config.IntervalSize,
+		TargetOps:    s.Config.TargetOps,
+		MaxK:         s.Config.MaxK,
+		Figures:      s.Figures(),
+	}
+	allPairs := append(append([]Pair{}, SamePlatformPairs...), CrossPlatformPairs...)
+	for _, r := range s.Results {
+		be := BenchmarkExport{
+			Name:           r.Name,
+			MappablePoints: len(r.Mapping.Points),
+		}
+		for _, run := range r.Runs {
+			be.Runs = append(be.Runs, RunExport{
+				Binary:       run.Binary.Name,
+				Instructions: run.TotalInstructions,
+				TrueCycles:   run.TrueCycles,
+				TrueCPI:      run.TrueCPI,
+				FLI:          methodExport(&run.FLI),
+				VLI:          methodExport(&run.VLI),
+			})
+		}
+		for _, p := range allPairs {
+			be.Pairs = append(be.Pairs, PairExport{
+				Pair:         p.Name,
+				TrueSpeedup:  r.TrueSpeedup(p),
+				FLIEstimated: r.EstimatedSpeedup(p, false),
+				VLIEstimated: r.EstimatedSpeedup(p, true),
+				FLIError:     r.SpeedupError(p, false),
+				VLIError:     r.SpeedupError(p, true),
+			})
+		}
+		out.Benchmarks = append(out.Benchmarks, be)
+	}
+	return out
+}
+
+// WriteJSON writes the suite's JSON projection, indented.
+func (s *Suite) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Export())
+}

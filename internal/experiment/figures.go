@@ -1,0 +1,293 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Figure is chart-shaped data: one row per benchmark (plus an "Avg" row)
+// and one or more named series, mirroring the paper's bar charts.
+type Figure struct {
+	// ID is the paper artifact ID ("fig1" ... "fig5").
+	ID string
+	// Title and YLabel describe the chart.
+	Title, YLabel string
+	// RowLabels names the rows (benchmark names plus "Avg").
+	RowLabels []string
+	// Series holds the per-row values for each method/configuration.
+	Series []FigureSeries
+}
+
+// FigureSeries is one named value series of a Figure.
+type FigureSeries struct {
+	Name   string
+	Values []float64
+}
+
+// appendAvg adds the cross-benchmark average row to every series.
+func (f *Figure) appendAvg() {
+	f.RowLabels = append(f.RowLabels, "Avg")
+	for i := range f.Series {
+		var sum float64
+		n := 0
+		for _, v := range f.Series[i].Values {
+			if !math.IsNaN(v) {
+				sum += v
+				n++
+			}
+		}
+		avg := math.NaN()
+		if n > 0 {
+			avg = sum / float64(n)
+		}
+		f.Series[i].Values = append(f.Series[i].Values, avg)
+	}
+}
+
+// meanOverRuns averages a per-binary metric across a benchmark's binaries.
+func meanOverRuns(r *BenchmarkResult, metric func(*BinaryRun) float64) float64 {
+	var sum float64
+	for _, run := range r.Runs {
+		sum += metric(run)
+	}
+	return sum / float64(len(r.Runs))
+}
+
+// Figure1 reproduces "Number of SimPoints for per-binary SimPoint (FLI)
+// and mappable SimPoint (VLI)", averaged across the four binaries.
+func (s *Suite) Figure1() *Figure {
+	f := &Figure{
+		ID:     "fig1",
+		Title:  "Number of SimPoints (avg across 4 binaries)",
+		YLabel: "simulation points",
+		Series: []FigureSeries{{Name: "FLI"}, {Name: "VLI"}},
+	}
+	for _, r := range s.Results {
+		f.RowLabels = append(f.RowLabels, r.Name)
+		f.Series[0].Values = append(f.Series[0].Values,
+			meanOverRuns(r, func(b *BinaryRun) float64 { return float64(b.FLI.NumPoints) }))
+		f.Series[1].Values = append(f.Series[1].Values,
+			meanOverRuns(r, func(b *BinaryRun) float64 { return float64(b.VLI.NumPoints) }))
+	}
+	f.appendAvg()
+	return f
+}
+
+// Figure2 reproduces "Interval Size for mappable SimPoint (VLI)", the
+// average interval size across the four binaries. Per-binary FLI size is
+// fixed at Config.IntervalSize by construction.
+func (s *Suite) Figure2() *Figure {
+	f := &Figure{
+		ID:     "fig2",
+		Title:  "Average VLI interval size (avg across 4 binaries)",
+		YLabel: "instructions",
+		Series: []FigureSeries{{Name: "VLI"}},
+	}
+	for _, r := range s.Results {
+		f.RowLabels = append(f.RowLabels, r.Name)
+		f.Series[0].Values = append(f.Series[0].Values,
+			meanOverRuns(r, func(b *BinaryRun) float64 { return b.VLI.AvgIntervalInstrs }))
+	}
+	f.appendAvg()
+	return f
+}
+
+// Figure3 reproduces "CPI Error for per-binary SimPoint (FLI) and mappable
+// SimPoint (VLI)", averaged across the four binaries.
+func (s *Suite) Figure3() *Figure {
+	f := &Figure{
+		ID:     "fig3",
+		Title:  "CPI error vs full simulation (avg across 4 binaries)",
+		YLabel: "relative error",
+		Series: []FigureSeries{{Name: "FLI"}, {Name: "VLI"}},
+	}
+	for _, r := range s.Results {
+		f.RowLabels = append(f.RowLabels, r.Name)
+		f.Series[0].Values = append(f.Series[0].Values,
+			meanOverRuns(r, func(b *BinaryRun) float64 { return b.FLI.CPIError }))
+		f.Series[1].Values = append(f.Series[1].Values,
+			meanOverRuns(r, func(b *BinaryRun) float64 { return b.VLI.CPIError }))
+	}
+	f.appendAvg()
+	return f
+}
+
+// Pair names a binary-pair speedup configuration by indices into
+// compiler.AllTargets order (32u, 32o, 64u, 64o).
+type Pair struct {
+	Name string
+	A, B int
+}
+
+// SamePlatformPairs are Figure 4's configurations: speedup from
+// unoptimized to optimized on one platform.
+var SamePlatformPairs = []Pair{
+	{Name: "32u32o", A: 0, B: 1},
+	{Name: "64u64o", A: 2, B: 3},
+}
+
+// CrossPlatformPairs are Figure 5's configurations: speedup across
+// platforms at fixed optimization level.
+var CrossPlatformPairs = []Pair{
+	{Name: "32u64u", A: 0, B: 2},
+	{Name: "32o64o", A: 1, B: 3},
+}
+
+// TrueSpeedup is the ratio of true cycle counts for the pair.
+func (r *BenchmarkResult) TrueSpeedup(p Pair) float64 {
+	return float64(r.Runs[p.A].TrueCycles) / float64(r.Runs[p.B].TrueCycles)
+}
+
+// EstimatedSpeedup is the pair's speedup from sampled simulation under the
+// given method's estimated cycles.
+func (r *BenchmarkResult) EstimatedSpeedup(p Pair, vli bool) float64 {
+	pick := func(run *BinaryRun) float64 {
+		if vli {
+			return run.VLI.EstCycles
+		}
+		return run.FLI.EstCycles
+	}
+	return pick(r.Runs[p.A]) / pick(r.Runs[p.B])
+}
+
+// SpeedupError is |true - estimated| / true, the paper's §5.2 metric.
+func (r *BenchmarkResult) SpeedupError(p Pair, vli bool) float64 {
+	ts := r.TrueSpeedup(p)
+	return math.Abs(ts-r.EstimatedSpeedup(p, vli)) / ts
+}
+
+// speedupFigure assembles Figure 4 or 5 from a pair list.
+func (s *Suite) speedupFigure(id, title string, pairs []Pair) *Figure {
+	f := &Figure{ID: id, Title: title, YLabel: "speedup error"}
+	for _, p := range pairs {
+		f.Series = append(f.Series,
+			FigureSeries{Name: "fli_" + p.Name}, FigureSeries{Name: "vli_" + p.Name})
+	}
+	for _, r := range s.Results {
+		f.RowLabels = append(f.RowLabels, r.Name)
+		for pi, p := range pairs {
+			f.Series[2*pi].Values = append(f.Series[2*pi].Values, r.SpeedupError(p, false))
+			f.Series[2*pi+1].Values = append(f.Series[2*pi+1].Values, r.SpeedupError(p, true))
+		}
+	}
+	f.appendAvg()
+	return f
+}
+
+// Figure4 reproduces speedup error across optimization levels on the same
+// platform (32u->32o, 64u->64o), FLI vs VLI.
+func (s *Suite) Figure4() *Figure {
+	return s.speedupFigure("fig4",
+		"Speedup error, same platform (across optimization levels)", SamePlatformPairs)
+}
+
+// Figure5 reproduces speedup error across platforms at fixed optimization
+// level (32u->64u, 32o->64o), FLI vs VLI.
+func (s *Suite) Figure5() *Figure {
+	return s.speedupFigure("fig5",
+		"Speedup error, cross platform (same optimization level)", CrossPlatformPairs)
+}
+
+// PhaseRow is one row of a Table 2/3-style phase comparison.
+type PhaseRow struct {
+	// Phase is the phase ID (per-binary for FLI, shared for VLI).
+	Phase int
+	// Weight is the fraction of executed instructions in the phase.
+	Weight float64
+	// TrueCPI is the phase's average CPI over all its intervals in the
+	// full run; SPCPI the CPI of its simulation point.
+	TrueCPI, SPCPI float64
+	// Error is (SPCPI - TrueCPI) / TrueCPI, signed like the paper's
+	// tables.
+	Error float64
+}
+
+// PhaseBias is one method's half of a Table 2/3: the largest phases of
+// two binaries side by side.
+type PhaseBias struct {
+	// Benchmark and Method identify the comparison.
+	Benchmark, Method string
+	// BinaryA/B name the two compared binaries.
+	BinaryA, BinaryB string
+	// RowsA/RowsB are the top phases (by weight) in each binary. For VLI
+	// row i refers to the same phase in both binaries; for FLI the phases
+	// are unrelated across binaries (that inconsistency is the point).
+	RowsA, RowsB []PhaseRow
+}
+
+// topPhases returns the method's phases sorted by descending weight.
+func topPhases(ms *MethodStats, n int) []PhaseRow {
+	var rows []PhaseRow
+	for p := 0; p < ms.K; p++ {
+		if ms.PhaseWeights[p] <= 0 {
+			continue
+		}
+		spcpi := math.NaN()
+		if p < len(ms.PointCPI) {
+			spcpi = ms.PointCPI[p]
+		}
+		r := PhaseRow{
+			Phase:   p,
+			Weight:  ms.PhaseWeights[p],
+			TrueCPI: ms.PhaseTrueCPI[p],
+			SPCPI:   spcpi,
+		}
+		if r.TrueCPI > 0 && !math.IsNaN(spcpi) {
+			r.Error = (r.SPCPI - r.TrueCPI) / r.TrueCPI
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Weight > rows[j].Weight })
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// PhaseBiasTables builds the paper's Table 2/3 content for one benchmark
+// and binary pair: the VLI comparison (consistent bias) followed by the
+// FLI comparison (shifting bias). n is the number of phases to show (the
+// paper shows 3).
+func (s *Suite) PhaseBiasTables(bench string, pair Pair, n int) ([]PhaseBias, error) {
+	r := s.ByName(bench)
+	if r == nil {
+		return nil, fmt.Errorf("experiment: benchmark %q not in suite", bench)
+	}
+	a, b := r.Runs[pair.A], r.Runs[pair.B]
+	vli := PhaseBias{
+		Benchmark: bench, Method: "VLI",
+		BinaryA: a.Binary.Name, BinaryB: b.Binary.Name,
+		RowsA: topPhases(&a.VLI, n),
+	}
+	// For VLI, show binary B's rows for the SAME phases as A's top list.
+	for _, ra := range vli.RowsA {
+		p := ra.Phase
+		spcpi := math.NaN()
+		if p < len(b.VLI.PointCPI) {
+			spcpi = b.VLI.PointCPI[p]
+		}
+		rb := PhaseRow{
+			Phase:   p,
+			Weight:  b.VLI.PhaseWeights[p],
+			TrueCPI: b.VLI.PhaseTrueCPI[p],
+			SPCPI:   spcpi,
+		}
+		if rb.TrueCPI > 0 && !math.IsNaN(spcpi) {
+			rb.Error = (rb.SPCPI - rb.TrueCPI) / rb.TrueCPI
+		}
+		vli.RowsB = append(vli.RowsB, rb)
+	}
+	fli := PhaseBias{
+		Benchmark: bench, Method: "FLI",
+		BinaryA: a.Binary.Name, BinaryB: b.Binary.Name,
+		RowsA: topPhases(&a.FLI, n),
+		RowsB: topPhases(&b.FLI, n),
+	}
+	return []PhaseBias{vli, fli}, nil
+}
+
+// Figures returns all five figures in paper order.
+func (s *Suite) Figures() []*Figure {
+	return []*Figure{s.Figure1(), s.Figure2(), s.Figure3(), s.Figure4(), s.Figure5()}
+}

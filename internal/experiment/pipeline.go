@@ -1,0 +1,491 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"xbsim/internal/cmpsim"
+	"xbsim/internal/compiler"
+	"xbsim/internal/exec"
+	"xbsim/internal/mapping"
+	"xbsim/internal/profile"
+	"xbsim/internal/program"
+	"xbsim/internal/simpoint"
+)
+
+// MethodStats holds one estimation method's results for one binary.
+type MethodStats struct {
+	// K is the number of phases the clustering chose.
+	K int
+	// NumPoints is the number of simulation points (phases with a
+	// representative).
+	NumPoints int
+	// NumIntervals is the interval count for this binary (FLI: its own
+	// intervals; VLI: the shared cross-binary interval count).
+	NumIntervals int
+	// AvgIntervalInstrs is this binary's mean interval size in
+	// instructions (VLIs expand/shrink when mapped across binaries).
+	AvgIntervalInstrs float64
+	// PhaseWeights[p] is the fraction of this binary's dynamic
+	// instructions in phase p (VLI: recalculated per binary, §3.2.6).
+	PhaseWeights []float64
+	// PhaseTrueCPI[p] is the phase's true CPI measured during full
+	// simulation of this binary.
+	PhaseTrueCPI []float64
+	// PointCPI[p] is the CPI of the phase's simulation point measured by
+	// region-gated simulation of this binary (NaN when the phase has no
+	// point).
+	PointCPI []float64
+	// PointInterval[p] is the representative interval index (-1 if none).
+	PointInterval []int
+	// PhaseOf labels every interval with its phase (FLI: this binary's
+	// own intervals; VLI: the shared cross-binary intervals).
+	PhaseOf []int
+	// EstCPI is the weighted whole-program CPI estimate.
+	EstCPI float64
+	// CPIError is |EstCPI - TrueCPI| / TrueCPI.
+	CPIError float64
+	// EstCycles is EstCPI times the binary's exact instruction count.
+	EstCycles float64
+}
+
+// BinaryRun is everything measured for one binary of a benchmark.
+type BinaryRun struct {
+	// Binary is the compiled binary.
+	Binary *compiler.Binary
+	// TotalInstructions is the exact dynamic instruction count.
+	TotalInstructions uint64
+	// TrueCycles and TrueCPI come from full-run simulation.
+	TrueCycles uint64
+	TrueCPI    float64
+	// FLI is the per-binary SimPoint baseline; VLI the cross-binary
+	// mappable SimPoint method.
+	FLI, VLI MethodStats
+}
+
+// BenchmarkResult is the complete evaluation of one benchmark.
+type BenchmarkResult struct {
+	// Name is the benchmark name.
+	Name string
+	// Runs holds one entry per binary in compiler.AllTargets order.
+	Runs []*BinaryRun
+	// Mapping is the cross-binary point set (diagnostics included).
+	Mapping *mapping.Result
+	// Primary is the primary binary index used for VLI selection.
+	Primary int
+}
+
+// RunBenchmark executes the full pipeline for one benchmark.
+func RunBenchmark(name string, cfg Config) (*BenchmarkResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	prog, err := program.Generate(name, program.GenConfig{TargetOps: cfg.TargetOps})
+	if err != nil {
+		return nil, err
+	}
+	bins, err := compiler.CompileAll(prog)
+	if err != nil {
+		return nil, err
+	}
+
+	// Walk 1 per binary: call/branch profile + FLI BBVs + totals.
+	profiles := make([]*profile.Profile, len(bins))
+	fliRes := make([]*profile.FLIResult, len(bins))
+	for bi, bin := range bins {
+		ic := exec.NewInstructionCounter(bin)
+		mc := exec.NewMarkerCounter(bin)
+		fc, err := profile.NewFLICollector(bin, cfg.IntervalSize)
+		if err != nil {
+			return nil, err
+		}
+		if err := exec.Run(bin, cfg.Input, exec.Multi{ic, mc, fc}); err != nil {
+			return nil, err
+		}
+		fliRes[bi] = fc.Finish()
+		profiles[bi], err = profile.BuildProfile(bin, cfg.Input, ic.Instructions, mc.Counts)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Mappable points across all binaries.
+	mapped, err := mapping.Find(profiles, cfg.Mapping)
+	if err != nil {
+		return nil, err
+	}
+
+	// Walk 2 (primary only): VLI BBV collection at mappable markers.
+	primary := cfg.Primary
+	vc, err := profile.NewVLICollector(bins[primary], cfg.IntervalSize, mapped.MarkersFor(primary))
+	if err != nil {
+		return nil, err
+	}
+	if err := exec.Run(bins[primary], cfg.Input, vc); err != nil {
+		return nil, err
+	}
+	vliRes := vc.Finish()
+
+	// SimPoint: per-binary FLI (independent runs, independently seeded —
+	// exactly what an engineer running SimPoint per binary would do), and
+	// one VLI run on the primary.
+	fliPicks := make([]*simpoint.Result, len(bins))
+	for bi := range bins {
+		fliPicks[bi], err = simpoint.Pick(fliRes[bi].Dataset, simpoint.Config{
+			MaxK: cfg.MaxK, Dim: cfg.Dim, BICThreshold: cfg.BICThreshold,
+			Restarts: cfg.Restarts, EarlyTolerance: cfg.EarlyTolerance,
+			Seed: fmt.Sprintf("%s/fli/%s", cfg.Seed, bins[bi].Name),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s fli simpoint: %w", bins[bi].Name, err)
+		}
+	}
+	vliPick, err := simpoint.Pick(vliRes.Dataset, simpoint.Config{
+		MaxK: cfg.MaxK, Dim: cfg.Dim, BICThreshold: cfg.BICThreshold,
+		Restarts: cfg.Restarts, EarlyTolerance: cfg.EarlyTolerance,
+		Seed: fmt.Sprintf("%s/vli/%s", cfg.Seed, prog.Name),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s vli simpoint: %w", prog.Name, err)
+	}
+
+	res := &BenchmarkResult{Name: name, Mapping: mapped, Primary: primary}
+	for bi, bin := range bins {
+		run, err := evaluateBinary(cfg, bins, bi, profiles[bi], fliRes[bi], fliPicks[bi], vliRes, vliPick, mapped)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", bin.Name, err)
+		}
+		res.Runs = append(res.Runs, run)
+	}
+	return res, nil
+}
+
+// evaluateBinary performs walks 3-5 for one binary and assembles its
+// BinaryRun.
+func evaluateBinary(cfg Config, bins []*compiler.Binary, bi int,
+	prof *profile.Profile, fli *profile.FLIResult, fliPick *simpoint.Result,
+	vli *profile.VLIResult, vliPick *simpoint.Result, mapped *mapping.Result) (*BinaryRun, error) {
+
+	bin := bins[bi]
+	vliEnds, err := mapped.TranslateEnds(cfg.Primary, bi, vli.Ends)
+	if err != nil {
+		return nil, fmt.Errorf("translating VLI boundaries: %w", err)
+	}
+
+	// Walk 3: full simulation with both interval attributions.
+	fullSim, err := cmpsim.NewSimulator(bin, cfg.Hierarchy)
+	if err != nil {
+		return nil, err
+	}
+	fliSnap := newSnapshotter(fullSim, len(fli.Ends))
+	vliSnap := newSnapshotter(fullSim, len(vliEnds))
+	fliTr := profile.NewFLITracker(bin, fli.Ends, fliSnap)
+	vliTr := profile.NewVLITracker(bin, vliEnds, vliSnap)
+	if err := exec.Run(bin, cfg.Input, exec.Multi{fullSim, fliTr, vliTr}); err != nil {
+		return nil, err
+	}
+	fliSnap.close()
+	vliSnap.close()
+	trueStats := fullSim.Stats()
+
+	run := &BinaryRun{
+		Binary:            bin,
+		TotalInstructions: trueStats.Instructions,
+		TrueCycles:        trueStats.Cycles,
+		TrueCPI:           trueStats.CPI(),
+	}
+	if run.TotalInstructions != prof.TotalInstructions {
+		return nil, fmt.Errorf("instruction count mismatch between walks: %d vs %d",
+			run.TotalInstructions, prof.TotalInstructions)
+	}
+
+	// Walk 4: FLI region simulation (this binary's own points).
+	fliPointCPI, fliPointIv, err := simulatePoints(cfg, bin, fliPick,
+		func(sink profile.IntervalSink) exec.Visitor {
+			return profile.NewFLITracker(bin, fli.Ends, sink)
+		})
+	if err != nil {
+		return nil, err
+	}
+	run.FLI, err = buildMethodStats(fliPick, fliSnap, fliPointCPI, fliPointIv,
+		len(fli.Ends), run, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// Walk 5: VLI region simulation (the shared cross-binary points
+	// located in this binary via translated boundaries).
+	vliPointCPI, vliPointIv, err := simulatePoints(cfg, bin, vliPick,
+		func(sink profile.IntervalSink) exec.Visitor {
+			return profile.NewVLITracker(bin, vliEnds, sink)
+		})
+	if err != nil {
+		return nil, err
+	}
+	// VLI weights are recalculated from THIS binary's per-phase
+	// instruction counts (§3.2.6).
+	vliWeights := recalcWeights(vliPick, vliSnap, run.TotalInstructions)
+	run.VLI, err = buildMethodStats(vliPick, vliSnap, vliPointCPI, vliPointIv,
+		len(vliEnds), run, vliWeights)
+	if err != nil {
+		return nil, err
+	}
+	return run, nil
+}
+
+// simulatePoints runs one region-gated simulation walk and returns, per
+// phase, the measured CPI of its simulation point and the representative
+// interval index.
+func simulatePoints(cfg Config, bin *compiler.Binary, pick *simpoint.Result,
+	makeTracker func(profile.IntervalSink) exec.Visitor) (cpi []float64, intervals []int, err error) {
+
+	sim, err := cmpsim.NewSimulator(bin, cfg.Hierarchy)
+	if err != nil {
+		return nil, nil, err
+	}
+	sim.SetFunctionalWarming(!cfg.DisableWarming)
+	chosen := make(map[int]bool, len(pick.Points))
+	for _, p := range pick.Points {
+		chosen[p.Interval] = true
+	}
+	gate := newGatedSnapshotter(sim, chosen)
+	tracker := makeTracker(gate)
+	if err := exec.Run(bin, cfg.Input, exec.Multi{sim, tracker}); err != nil {
+		return nil, nil, err
+	}
+	gate.close()
+
+	cpi = make([]float64, pick.K)
+	intervals = make([]int, pick.K)
+	for p := range cpi {
+		cpi[p] = math.NaN()
+		intervals[p] = -1
+	}
+	for _, p := range pick.Points {
+		st := gate.regions[p.Interval]
+		if st.instr == 0 {
+			return nil, nil, fmt.Errorf("simulation point interval %d executed nothing in %s",
+				p.Interval, bin.Name)
+		}
+		cpi[p.Phase] = float64(st.cycles) / float64(st.instr)
+		intervals[p.Phase] = p.Interval
+	}
+	return cpi, intervals, nil
+}
+
+// recalcWeights computes per-phase weights from this binary's per-interval
+// instruction counts under the shared VLI boundaries.
+func recalcWeights(pick *simpoint.Result, snap *snapshotter, total uint64) []float64 {
+	w := make([]float64, pick.K)
+	for iv, phase := range pick.PhaseOf {
+		if iv < len(snap.instr) {
+			w[phase] += float64(snap.instr[iv])
+		}
+	}
+	for p := range w {
+		w[p] /= float64(total)
+	}
+	return w
+}
+
+// buildMethodStats assembles a MethodStats from the pieces. weights == nil
+// uses the clustering's own weights (FLI); otherwise the recalculated
+// per-binary weights (VLI).
+func buildMethodStats(pick *simpoint.Result, snap *snapshotter,
+	pointCPI []float64, pointIv []int, numIntervals int, run *BinaryRun,
+	weights []float64) (MethodStats, error) {
+
+	ms := MethodStats{
+		K:             pick.K,
+		NumPoints:     len(pick.Points),
+		NumIntervals:  numIntervals,
+		PointCPI:      pointCPI,
+		PointInterval: pointIv,
+		PhaseOf:       append([]int(nil), pick.PhaseOf...),
+	}
+	if numIntervals > 0 {
+		ms.AvgIntervalInstrs = float64(run.TotalInstructions) / float64(numIntervals)
+	}
+	if weights == nil {
+		weights = append([]float64(nil), pick.PhaseWeights...)
+	}
+	ms.PhaseWeights = weights
+
+	// Per-phase true CPI from the full-run attribution.
+	ms.PhaseTrueCPI = make([]float64, pick.K)
+	phaseInstr := make([]uint64, pick.K)
+	phaseCycles := make([]uint64, pick.K)
+	for iv, phase := range pick.PhaseOf {
+		if iv < len(snap.instr) {
+			phaseInstr[phase] += snap.instr[iv]
+			phaseCycles[phase] += snap.cycles[iv]
+		}
+	}
+	for p := range ms.PhaseTrueCPI {
+		if phaseInstr[p] > 0 {
+			ms.PhaseTrueCPI[p] = float64(phaseCycles[p]) / float64(phaseInstr[p])
+		}
+	}
+
+	// Whole-program estimate: weighted average of point CPIs.
+	var est, wsum float64
+	for p := 0; p < pick.K; p++ {
+		if math.IsNaN(pointCPI[p]) || weights[p] <= 0 {
+			continue
+		}
+		est += weights[p] * pointCPI[p]
+		wsum += weights[p]
+	}
+	if wsum <= 0 {
+		return ms, fmt.Errorf("no usable simulation points")
+	}
+	ms.EstCPI = est / wsum
+	ms.EstCycles = ms.EstCPI * float64(run.TotalInstructions)
+	if run.TrueCPI > 0 {
+		ms.CPIError = math.Abs(ms.EstCPI-run.TrueCPI) / run.TrueCPI
+	}
+	return ms, nil
+}
+
+// snapshotter attributes a simulator's cumulative instruction/cycle
+// counters to intervals as an IntervalSink: on each transition the delta
+// since the previous snapshot is charged to the interval just left.
+type snapshotter struct {
+	sim    *cmpsim.Simulator
+	cur    int
+	lastI  uint64
+	lastC  uint64
+	instr  []uint64
+	cycles []uint64
+}
+
+func newSnapshotter(sim *cmpsim.Simulator, numIntervals int) *snapshotter {
+	return &snapshotter{
+		sim:    sim,
+		instr:  make([]uint64, numIntervals),
+		cycles: make([]uint64, numIntervals),
+	}
+}
+
+// Transition implements profile.IntervalSink.
+func (s *snapshotter) Transition(i int) {
+	if i == s.cur {
+		return
+	}
+	s.flush()
+	s.cur = i
+}
+
+func (s *snapshotter) flush() {
+	st := s.sim.Stats()
+	if s.cur < len(s.instr) {
+		s.instr[s.cur] += st.Instructions - s.lastI
+		s.cycles[s.cur] += st.Cycles - s.lastC
+	}
+	s.lastI, s.lastC = st.Instructions, st.Cycles
+}
+
+// close flushes the final interval; call after the run.
+func (s *snapshotter) close() { s.flush() }
+
+// regionStat is one simulated region's accumulation.
+type regionStat struct {
+	instr, cycles uint64
+}
+
+// gatedSnapshotter gates a simulator to a chosen set of intervals and
+// accumulates per-chosen-interval statistics.
+type gatedSnapshotter struct {
+	sim     *cmpsim.Simulator
+	chosen  map[int]bool
+	cur     int
+	lastI   uint64
+	lastC   uint64
+	regions map[int]regionStat
+}
+
+func newGatedSnapshotter(sim *cmpsim.Simulator, chosen map[int]bool) *gatedSnapshotter {
+	sim.SetEnabled(chosen[0])
+	return &gatedSnapshotter{
+		sim:     sim,
+		chosen:  chosen,
+		regions: map[int]regionStat{},
+	}
+}
+
+// Transition implements profile.IntervalSink.
+func (g *gatedSnapshotter) Transition(i int) {
+	if i == g.cur {
+		return
+	}
+	g.flush()
+	g.cur = i
+	g.sim.SetEnabled(g.chosen[i])
+}
+
+func (g *gatedSnapshotter) flush() {
+	st := g.sim.Stats()
+	if g.chosen[g.cur] {
+		r := g.regions[g.cur]
+		r.instr += st.Instructions - g.lastI
+		r.cycles += st.Cycles - g.lastC
+		g.regions[g.cur] = r
+	}
+	g.lastI, g.lastC = st.Instructions, st.Cycles
+}
+
+func (g *gatedSnapshotter) close() { g.flush() }
+
+// Suite is a completed multi-benchmark evaluation.
+type Suite struct {
+	// Config is the configuration the suite ran with (defaults applied).
+	Config Config
+	// Results holds one entry per benchmark, in Config.Benchmarks order.
+	Results []*BenchmarkResult
+}
+
+// Run evaluates every configured benchmark, in parallel up to
+// Config.Parallelism.
+func Run(cfg Config) (*Suite, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	suite := &Suite{Config: cfg, Results: make([]*BenchmarkResult, len(cfg.Benchmarks))}
+	sem := make(chan struct{}, cfg.Parallelism)
+	var wg sync.WaitGroup
+	errs := make([]error, len(cfg.Benchmarks))
+	for i, name := range cfg.Benchmarks {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := RunBenchmark(name, cfg)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", name, err)
+				return
+			}
+			suite.Results[i] = r
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return suite, nil
+}
+
+// ByName returns the named benchmark's result, or nil.
+func (s *Suite) ByName(name string) *BenchmarkResult {
+	for _, r := range s.Results {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}

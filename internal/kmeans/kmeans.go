@@ -1,0 +1,334 @@
+// Package kmeans implements weighted k-means clustering with k-means++
+// seeding, multiple restarts, and the Bayesian Information Criterion (BIC)
+// score SimPoint uses to choose the number of clusters.
+//
+// SimPoint 3.0 clusters projected basic block vectors for a range of k and
+// keeps the smallest k whose BIC is close to the best observed (Hamerly et
+// al., JILP 2005). For variable length intervals each point carries a
+// weight — its dynamic instruction count — and both the centroid updates
+// and the BIC likelihood treat a point of weight w like w identical copies.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+
+	"xbsim/internal/vecmath"
+	"xbsim/internal/xrand"
+)
+
+// InitMethod selects how initial centroids are chosen.
+type InitMethod int
+
+const (
+	// InitPlusPlus is k-means++ seeding: iteratively pick centers with
+	// probability proportional to squared distance from the nearest chosen
+	// center (weighted by point weight). This is the default.
+	InitPlusPlus InitMethod = iota
+	// InitRandom picks k distinct points uniformly at random, matching the
+	// original SimPoint implementation's sampled initialization.
+	InitRandom
+)
+
+// Config controls a clustering run.
+type Config struct {
+	// MaxIters bounds Lloyd iterations per restart. <= 0 means 100.
+	MaxIters int
+	// Restarts is the number of random restarts; the lowest-distortion run
+	// wins. <= 0 means 5.
+	Restarts int
+	// Init selects the seeding method.
+	Init InitMethod
+	// Rng supplies all randomness. Required.
+	Rng *xrand.Stream
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIters <= 0 {
+		c.MaxIters = 100
+	}
+	if c.Restarts <= 0 {
+		c.Restarts = 5
+	}
+	return c
+}
+
+// Result is a completed clustering.
+type Result struct {
+	// K is the number of clusters actually produced (== requested k unless
+	// there were fewer distinct points).
+	K int
+	// Assignments maps each point index to a cluster in [0, K).
+	Assignments []int
+	// Centroids holds the K cluster centers.
+	Centroids [][]float64
+	// Distortion is the weighted sum of squared distances of points to
+	// their assigned centroid.
+	Distortion float64
+	// ClusterWeights[c] is the total weight assigned to cluster c.
+	ClusterWeights []float64
+	// ClusterSizes[c] is the number of points assigned to cluster c.
+	ClusterSizes []int
+}
+
+// Run clusters points into (at most) k clusters. weights may be nil for
+// unweighted clustering; otherwise it must be the same length as points
+// with positive entries. It returns an error for invalid inputs.
+func Run(points [][]float64, weights []float64, k int, cfg Config) (*Result, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("kmeans: no points")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("kmeans: k = %d", k)
+	}
+	if cfg.Rng == nil {
+		return nil, fmt.Errorf("kmeans: Config.Rng is required")
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("kmeans: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	if weights != nil {
+		if len(weights) != len(points) {
+			return nil, fmt.Errorf("kmeans: %d weights for %d points", len(weights), len(points))
+		}
+		for i, w := range weights {
+			if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("kmeans: weight %d = %v must be positive and finite", i, w)
+			}
+		}
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	cfg = cfg.withDefaults()
+
+	var best *Result
+	for r := 0; r < cfg.Restarts; r++ {
+		res := runOnce(points, weights, k, cfg, cfg.Rng.SplitIndexed("restart", r))
+		if best == nil || res.Distortion < best.Distortion {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func runOnce(points [][]float64, weights []float64, k int, cfg Config, rng *xrand.Stream) *Result {
+	dim := len(points[0])
+	centroids := initCentroids(points, weights, k, cfg.Init, rng)
+	k = len(centroids) // may shrink if fewer distinct points
+	assign := make([]int, len(points))
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		changed := assignAll(points, centroids, assign)
+		recomputeCentroids(points, weights, assign, centroids, dim, rng)
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	// Final assignment against the final centroids.
+	assignAll(points, centroids, assign)
+
+	res := &Result{
+		K:              k,
+		Assignments:    assign,
+		Centroids:      centroids,
+		ClusterWeights: make([]float64, k),
+		ClusterSizes:   make([]int, k),
+	}
+	for i, c := range assign {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		res.ClusterWeights[c] += w
+		res.ClusterSizes[c]++
+		res.Distortion += w * vecmath.SquaredDistance(points[i], centroids[c])
+	}
+	return res
+}
+
+// assignAll assigns each point to its nearest centroid, returning whether
+// any assignment changed.
+func assignAll(points [][]float64, centroids [][]float64, assign []int) bool {
+	changed := false
+	for i, p := range points {
+		bestC, bestD := 0, math.Inf(1)
+		for c, ctr := range centroids {
+			if d := vecmath.SquaredDistance(p, ctr); d < bestD {
+				bestC, bestD = c, d
+			}
+		}
+		if assign[i] != bestC {
+			assign[i] = bestC
+			changed = true
+		}
+	}
+	return changed
+}
+
+// recomputeCentroids sets each centroid to the weighted mean of its points.
+// An empty cluster is re-seeded with the point farthest from its centroid.
+func recomputeCentroids(points [][]float64, weights []float64, assign []int, centroids [][]float64, dim int, rng *xrand.Stream) {
+	sums := make([][]float64, len(centroids))
+	totals := make([]float64, len(centroids))
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+	for i, c := range assign {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		vecmath.AddScaled(sums[c], points[i], w)
+		totals[c] += w
+	}
+	for c := range centroids {
+		if totals[c] > 0 {
+			vecmath.Scale(sums[c], 1/totals[c])
+			centroids[c] = sums[c]
+			continue
+		}
+		// Empty cluster: re-seed with the point currently farthest from
+		// its assigned centroid, which splits the most spread-out cluster.
+		farthest, farD := 0, -1.0
+		for i, p := range points {
+			d := vecmath.SquaredDistance(p, centroids[assign[i]])
+			if d > farD {
+				farthest, farD = i, d
+			}
+		}
+		centroids[c] = append([]float64(nil), points[farthest]...)
+		_ = rng // reserved for randomized tie-breaking strategies
+	}
+}
+
+func initCentroids(points [][]float64, weights []float64, k int, method InitMethod, rng *xrand.Stream) [][]float64 {
+	switch method {
+	case InitRandom:
+		return initRandom(points, k, rng)
+	default:
+		return initPlusPlus(points, weights, k, rng)
+	}
+}
+
+func initRandom(points [][]float64, k int, rng *xrand.Stream) [][]float64 {
+	perm := rng.Perm(len(points))
+	centroids := make([][]float64, 0, k)
+	seen := map[string]bool{}
+	for _, i := range perm {
+		key := fmt.Sprint(points[i])
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		centroids = append(centroids, append([]float64(nil), points[i]...))
+		if len(centroids) == k {
+			break
+		}
+	}
+	return centroids
+}
+
+func initPlusPlus(points [][]float64, weights []float64, k int, rng *xrand.Stream) [][]float64 {
+	n := len(points)
+	centroids := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centroids = append(centroids, append([]float64(nil), points[first]...))
+
+	// minDist[i] is the squared distance from point i to its nearest
+	// chosen centroid so far.
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = vecmath.SquaredDistance(points[i], centroids[0])
+	}
+	probs := make([]float64, n)
+	for len(centroids) < k {
+		var total float64
+		for i := range probs {
+			w := 1.0
+			if weights != nil {
+				w = weights[i]
+			}
+			probs[i] = w * minDist[i]
+			total += probs[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with chosen centers: fewer
+			// distinct points than k.
+			break
+		}
+		next := rng.Pick(probs)
+		centroids = append(centroids, append([]float64(nil), points[next]...))
+		for i := range minDist {
+			if d := vecmath.SquaredDistance(points[i], centroids[len(centroids)-1]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+// BIC returns the Bayesian Information Criterion score of a clustering, in
+// the X-means formulation (Pelleg & Moore, ICML 2000), generalized to
+// weighted points: a point of weight w contributes like w copies. Higher is
+// better. Weights are rescaled so their total equals the point count, which
+// keeps scores comparable across weighting schemes.
+func BIC(points [][]float64, weights []float64, res *Result) float64 {
+	n := len(points)
+	if n == 0 || res == nil {
+		return math.Inf(-1)
+	}
+	d := float64(len(points[0]))
+	k := float64(res.K)
+
+	// Effective (rescaled) weights.
+	scale := 1.0
+	if weights != nil {
+		var total float64
+		for _, w := range weights {
+			total += w
+		}
+		scale = float64(n) / total
+	}
+	eff := func(i int) float64 {
+		if weights == nil {
+			return 1
+		}
+		return weights[i] * scale
+	}
+
+	// Pooled spherical variance estimate.
+	var distortion float64
+	clusterW := make([]float64, res.K)
+	for i, c := range res.Assignments {
+		w := eff(i)
+		distortion += w * vecmath.SquaredDistance(points[i], res.Centroids[c])
+		clusterW[c] += w
+	}
+	R := float64(n)
+	denom := d * (R - k)
+	if denom <= 0 {
+		denom = d // degenerate: as many clusters as points
+	}
+	sigma2 := distortion / denom
+	if sigma2 <= 0 {
+		sigma2 = 1e-12 // perfect fit; avoid log(0)
+	}
+
+	var loglik float64
+	for _, Ri := range clusterW {
+		if Ri <= 0 {
+			continue
+		}
+		loglik += Ri*math.Log(Ri) - Ri*math.Log(R) -
+			Ri*d/2*math.Log(2*math.Pi*sigma2) - (Ri-1)*d/2
+	}
+	params := (k - 1) + k*d + 1
+	return loglik - params/2*math.Log(R)
+}

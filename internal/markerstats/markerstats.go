@@ -1,0 +1,164 @@
+// Package markerstats analyzes the periodicity of instrumentation markers
+// — how many dynamic instructions pass between consecutive firings of
+// each procedure entry or loop branch, and how variable that gap is.
+//
+// This is the code-structure analysis of Lau, Perelman & Calder
+// ("Selecting software phase markers with code structure analysis", CGO
+// 2006) that the paper's related-work section builds on: a marker whose
+// firing gap is regular (low coefficient of variation) and close to the
+// desired interval size is a natural phase marker / interval boundary,
+// while highly irregular markers cut intervals at unstable points.
+// Cross Binary SimPoint constrains the choice further (markers must also
+// be mappable); markerstats quantifies what each candidate is like.
+package markerstats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"xbsim/internal/compiler"
+	"xbsim/internal/exec"
+	"xbsim/internal/program"
+)
+
+// Stat summarizes one marker's firing behavior over a run.
+type Stat struct {
+	// Marker is the binary-local marker ID.
+	Marker int
+	// Kind, Symbol, Line identify the marker (see compiler.Marker).
+	Kind   compiler.MarkerKind
+	Symbol string
+	Line   int
+	// Count is the number of firings.
+	Count uint64
+	// MeanGap is the mean dynamic instruction distance between
+	// consecutive firings (and from start to the first firing).
+	MeanGap float64
+	// CV is the coefficient of variation of the gaps (stddev / mean);
+	// 0 means perfectly periodic. NaN when fewer than 2 gaps.
+	CV float64
+}
+
+// Collector is an exec.Visitor that gathers per-marker gap statistics
+// with Welford's streaming algorithm (no gap lists are stored).
+type Collector struct {
+	bin   *compiler.Binary
+	total uint64
+
+	lastFire []uint64 // instruction count at previous firing
+	fired    []bool
+	count    []uint64
+	mean     []float64
+	m2       []float64
+}
+
+// NewCollector prepares a collector for the binary.
+func NewCollector(bin *compiler.Binary) (*Collector, error) {
+	if bin == nil {
+		return nil, fmt.Errorf("markerstats: nil binary")
+	}
+	n := len(bin.Markers)
+	return &Collector{
+		bin:      bin,
+		lastFire: make([]uint64, n),
+		fired:    make([]bool, n),
+		count:    make([]uint64, n),
+		mean:     make([]float64, n),
+		m2:       make([]float64, n),
+	}, nil
+}
+
+// OnBlock implements exec.Visitor.
+func (c *Collector) OnBlock(block int) {
+	c.total += uint64(c.bin.Blocks[block].Instrs)
+}
+
+// OnMarker implements exec.Visitor.
+func (c *Collector) OnMarker(marker int) {
+	var gap float64
+	if c.fired[marker] {
+		gap = float64(c.total - c.lastFire[marker])
+	} else {
+		gap = float64(c.total)
+		c.fired[marker] = true
+	}
+	c.lastFire[marker] = c.total
+	// Welford update.
+	c.count[marker]++
+	delta := gap - c.mean[marker]
+	c.mean[marker] += delta / float64(c.count[marker])
+	c.m2[marker] += delta * (gap - c.mean[marker])
+}
+
+// TotalInstructions returns the instructions observed so far.
+func (c *Collector) TotalInstructions() uint64 { return c.total }
+
+// Stats returns per-marker summaries for every marker that fired,
+// ordered by marker ID.
+func (c *Collector) Stats() []Stat {
+	var out []Stat
+	for m := range c.count {
+		if c.count[m] == 0 {
+			continue
+		}
+		mk := c.bin.Markers[m]
+		s := Stat{
+			Marker:  m,
+			Kind:    mk.Kind,
+			Symbol:  mk.Symbol,
+			Line:    mk.Line,
+			Count:   c.count[m],
+			MeanGap: c.mean[m],
+			CV:      math.NaN(),
+		}
+		if c.count[m] >= 2 && c.mean[m] > 0 {
+			variance := c.m2[m] / float64(c.count[m]-1)
+			s.CV = math.Sqrt(variance) / c.mean[m]
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Collect runs the binary and returns its marker statistics.
+func Collect(bin *compiler.Binary, in program.Input) ([]Stat, error) {
+	c, err := NewCollector(bin)
+	if err != nil {
+		return nil, err
+	}
+	if err := exec.Run(bin, in, c); err != nil {
+		return nil, err
+	}
+	return c.Stats(), nil
+}
+
+// RankForInterval orders marker statistics by suitability as interval
+// boundaries for the given target size: markers whose mean gap divides
+// the target cleanly (firing at least once per target-size window) and
+// whose gaps are regular rank first. Markers that fire less than once
+// per window are ranked last (they cannot bound target-size intervals).
+func RankForInterval(stats []Stat, targetSize uint64) []Stat {
+	ranked := append([]Stat(nil), stats...)
+	score := func(s Stat) float64 {
+		if s.MeanGap <= 0 {
+			return math.Inf(1)
+		}
+		if s.MeanGap > float64(targetSize) {
+			// Too coarse: penalize by how much it overshoots.
+			return 1e6 * s.MeanGap / float64(targetSize)
+		}
+		cv := s.CV
+		if math.IsNaN(cv) {
+			cv = 1e3
+		}
+		// Prefer regular (low CV) markers; among those, finer ones give
+		// SimPoint more boundary choices, but extremely hot markers add
+		// profiling overhead — weight gap mildly toward the target.
+		return cv + 0.1*math.Abs(math.Log(float64(targetSize)/s.MeanGap))
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		return score(ranked[i]) < score(ranked[j])
+	})
+	return ranked
+}

@@ -1,0 +1,146 @@
+package markerstats
+
+import (
+	"math"
+	"testing"
+
+	"xbsim/internal/compiler"
+	"xbsim/internal/exec"
+	"xbsim/internal/program"
+)
+
+var refInput = program.Input{Name: "ref", Seed: 77}
+
+func testBinary(t testing.TB, name string) *compiler.Binary {
+	t.Helper()
+	p, err := program.Generate(name, program.GenConfig{TargetOps: 150_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return compiler.MustCompile(p, compiler.Target{Arch: compiler.Arch32, Opt: compiler.O0})
+}
+
+func TestCollectBasics(t *testing.T) {
+	bin := testBinary(t, "gzip")
+	stats, err := Collect(bin, refInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) == 0 {
+		t.Fatal("no marker stats")
+	}
+	mc := exec.NewMarkerCounter(bin)
+	if err := exec.Run(bin, refInput, mc); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stats {
+		if s.Count != mc.Counts[s.Marker] {
+			t.Fatalf("marker %d: stat count %d vs ground truth %d", s.Marker, s.Count, mc.Counts[s.Marker])
+		}
+		if s.MeanGap <= 0 {
+			t.Fatalf("marker %d: non-positive mean gap", s.Marker)
+		}
+		if s.Count >= 2 && !math.IsNaN(s.CV) && s.CV < 0 {
+			t.Fatalf("marker %d: negative CV", s.Marker)
+		}
+	}
+}
+
+func TestMeanGapConservation(t *testing.T) {
+	// For any marker, count * meanGap is at most total instructions
+	// (gaps partition the prefix of execution up to the last firing).
+	bin := testBinary(t, "art")
+	c, err := NewCollector(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Run(bin, refInput, c); err != nil {
+		t.Fatal(err)
+	}
+	total := float64(c.TotalInstructions())
+	for _, s := range c.Stats() {
+		covered := float64(s.Count) * s.MeanGap
+		if covered > total*1.0001 {
+			t.Fatalf("marker %d: gaps cover %v of %v instructions", s.Marker, covered, total)
+		}
+	}
+}
+
+func TestMainFiresOnceWithNaNCV(t *testing.T) {
+	bin := testBinary(t, "gzip")
+	stats, err := Collect(bin, refInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stats {
+		if s.Symbol == "main" {
+			if s.Count != 1 || !math.IsNaN(s.CV) {
+				t.Fatalf("main: count %d CV %v", s.Count, s.CV)
+			}
+			return
+		}
+	}
+	t.Fatal("main marker not found")
+}
+
+func TestPeriodicLoopHasLowCV(t *testing.T) {
+	// A zero-jitter loop's latch fires with a perfectly regular gap in
+	// steady state. Build a tiny custom program to assert CV ~ 0.
+	p := &program.Program{Name: "periodic", Procs: []*program.Proc{{
+		Index: 0, Name: "main", Line: 1, Body: []program.Stmt{
+			&program.Loop{ID: 0, Line: 2, Trip: program.TripSpec{Base: 500},
+				Body: []program.Stmt{
+					&program.Compute{Line: 3, Ops: program.OpMix{IntOps: 10}},
+				}},
+		}}}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bin := compiler.MustCompile(p, compiler.Target{Arch: compiler.Arch32, Opt: compiler.O0})
+	stats, err := Collect(bin, refInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range stats {
+		if s.Kind == compiler.MarkerLoopBody {
+			found = true
+			if s.Count < 400 {
+				t.Fatalf("latch fired %d times", s.Count)
+			}
+			// First gap includes prologue; the rest are identical, so CV
+			// must be tiny.
+			if s.CV > 0.2 {
+				t.Fatalf("periodic latch CV %v", s.CV)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no loop-body marker")
+	}
+}
+
+func TestRankForInterval(t *testing.T) {
+	stats := []Stat{
+		{Marker: 0, MeanGap: 1_000, CV: 0.05},  // fine & regular: best
+		{Marker: 1, MeanGap: 1_000, CV: 2.0},   // fine but erratic
+		{Marker: 2, MeanGap: 500_000, CV: 0.0}, // far coarser than target: last
+	}
+	ranked := RankForInterval(stats, 10_000)
+	if ranked[0].Marker != 0 {
+		t.Fatalf("best marker = %d", ranked[0].Marker)
+	}
+	if ranked[len(ranked)-1].Marker != 2 {
+		t.Fatalf("worst marker = %d", ranked[len(ranked)-1].Marker)
+	}
+	// Input slice must be untouched.
+	if stats[0].Marker != 0 || stats[2].Marker != 2 {
+		t.Fatal("RankForInterval mutated its input")
+	}
+}
+
+func TestNewCollectorNilBinary(t *testing.T) {
+	if _, err := NewCollector(nil); err == nil {
+		t.Fatal("nil binary accepted")
+	}
+}

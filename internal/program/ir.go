@@ -1,0 +1,336 @@
+// Package program defines the source-level intermediate representation
+// shared by every binary of a benchmark, plus a deterministic generator
+// that synthesizes SPEC2000-like benchmark programs.
+//
+// The paper compiles each SPEC2000 source program into four binaries
+// (32/64-bit × unoptimized/optimized) and relies on one property: all four
+// binaries execute the *same semantics*, so procedure call counts and loop
+// trip counts are identical across binaries even though instruction counts
+// differ. This package is the "source code": a tree of procedures, loops,
+// calls, and straight-line compute blocks, annotated with source line
+// numbers (the -g debug information the paper's mapping depends on).
+// Lowering to binaries lives in internal/compiler; deterministic execution
+// in internal/exec.
+package program
+
+import (
+	"fmt"
+)
+
+// Program is a complete source program. Procs[0] is the entry procedure.
+type Program struct {
+	// Name identifies the benchmark (e.g. "gcc").
+	Name string
+	// Procs holds every procedure; Call statements refer to them by index.
+	Procs []*Proc
+}
+
+// Proc is a procedure definition.
+type Proc struct {
+	// Index is this procedure's position in Program.Procs.
+	Index int
+	// Name is the source-level symbol name (survives into unoptimized
+	// binaries' symbol tables).
+	Name string
+	// Line is the source line of the procedure definition.
+	Line int
+	// Body is the statement list executed on each call.
+	Body []Stmt
+}
+
+// Stmt is a node in a procedure body: Compute, Loop, or Call.
+type Stmt interface {
+	// SourceLine returns the statement's source line number.
+	SourceLine() int
+	stmt()
+}
+
+// MemClass describes the locality pattern of a compute block's memory
+// accesses.
+type MemClass int
+
+const (
+	// MemStride walks the working set with a fixed stride (unit-stride
+	// array sweeps and similar; high spatial locality when the stride is
+	// small).
+	MemStride MemClass = iota
+	// MemRandom touches uniformly random lines within the working set
+	// (pointer chasing, hash tables; no spatial locality).
+	MemRandom
+)
+
+// String implements fmt.Stringer.
+func (m MemClass) String() string {
+	switch m {
+	case MemStride:
+		return "stride"
+	case MemRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("MemClass(%d)", int(m))
+	}
+}
+
+// MemPattern describes where and how a compute block touches memory.
+type MemPattern struct {
+	// Region is an abstract data-region identifier; distinct regions never
+	// alias. Address generation places each region in its own segment.
+	Region int
+	// WorkingSet is the number of bytes the block's accesses sweep over.
+	// Its relation to the cache capacities (32KB L1 / 512KB L2 / 1MB L3)
+	// determines the block's memory behavior.
+	WorkingSet uint64
+	// Stride is the byte distance between consecutive accesses when Class
+	// is MemStride; ignored for MemRandom.
+	Stride uint64
+	// Class selects the access pattern.
+	Class MemClass
+}
+
+// OpMix is the abstract operation mix of one execution of a compute block.
+// The compiler expands these into target instruction counts.
+type OpMix struct {
+	// IntOps is the number of integer ALU operations.
+	IntOps int
+	// FPOps is the number of floating-point operations.
+	FPOps int
+	// Loads is the number of memory reads.
+	Loads int
+	// Stores is the number of memory writes.
+	Stores int
+}
+
+// Total returns the total abstract operation count.
+func (m OpMix) Total() int { return m.IntOps + m.FPOps + m.Loads + m.Stores }
+
+// Compute is a straight-line block of work.
+type Compute struct {
+	// Line is the source line.
+	Line int
+	// Ops is the operation mix per execution.
+	Ops OpMix
+	// Mem describes the memory behavior of Ops.Loads/Ops.Stores.
+	Mem MemPattern
+}
+
+// SourceLine implements Stmt.
+func (c *Compute) SourceLine() int { return c.Line }
+func (c *Compute) stmt()           {}
+
+// Loop executes Body a deterministic, input-dependent number of times.
+type Loop struct {
+	// ID is unique among all loops in the program; trip counts and debug
+	// matching key off it.
+	ID int
+	// Line is the source line of the loop branch (the back edge carries
+	// this line in debug info).
+	Line int
+	// Trip determines the iteration count; see exec.TripCount.
+	Trip TripSpec
+	// Body is executed once per iteration.
+	Body []Stmt
+}
+
+// SourceLine implements Stmt.
+func (l *Loop) SourceLine() int { return l.Line }
+func (l *Loop) stmt()           {}
+
+// TripSpec describes a loop's iteration count: Base iterations plus a
+// deterministic input-dependent jitter in [-Jitter, +Jitter]. The realized
+// count is a pure function of (input seed, loop ID, entry ordinal), so it
+// is identical in every binary of the program — the invariant cross-binary
+// mapping relies on.
+type TripSpec struct {
+	Base   int
+	Jitter int
+}
+
+// Call invokes another procedure.
+type Call struct {
+	// Line is the source line of the call site.
+	Line int
+	// Callee is the callee's index in Program.Procs.
+	Callee int
+}
+
+// SourceLine implements Stmt.
+func (c *Call) SourceLine() int { return c.Line }
+func (c *Call) stmt()           {}
+
+// Input names a program input (the paper uses SPEC reference inputs). The
+// seed drives all input-dependent trip-count jitter.
+type Input struct {
+	Name string
+	Seed uint64
+}
+
+// Validate checks structural invariants: procedure indices consistent,
+// callee indices in range, the call graph acyclic (the executor walks
+// calls recursively and relies on termination), loop IDs unique, and all
+// trip specs sane. It returns the first violation found.
+func (p *Program) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("program: empty name")
+	}
+	if len(p.Procs) == 0 {
+		return fmt.Errorf("program %s: no procedures", p.Name)
+	}
+	names := map[string]int{}
+	for i, proc := range p.Procs {
+		if proc == nil {
+			return fmt.Errorf("program %s: nil proc %d", p.Name, i)
+		}
+		if proc.Index != i {
+			return fmt.Errorf("program %s: proc %q has index %d at position %d", p.Name, proc.Name, proc.Index, i)
+		}
+		if proc.Name == "" {
+			return fmt.Errorf("program %s: proc %d has empty name", p.Name, i)
+		}
+		if j, dup := names[proc.Name]; dup {
+			return fmt.Errorf("program %s: duplicate proc name %q (procs %d and %d)", p.Name, proc.Name, j, i)
+		}
+		names[proc.Name] = i
+	}
+	loopIDs := map[int]bool{}
+	for _, proc := range p.Procs {
+		if err := p.validateStmts(proc.Body, loopIDs); err != nil {
+			return fmt.Errorf("program %s: proc %q: %w", p.Name, proc.Name, err)
+		}
+	}
+	return p.checkAcyclic()
+}
+
+func (p *Program) validateStmts(stmts []Stmt, loopIDs map[int]bool) error {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Compute:
+			if s.Ops.Total() <= 0 {
+				return fmt.Errorf("compute at line %d has empty op mix", s.Line)
+			}
+			if s.Ops.IntOps < 0 || s.Ops.FPOps < 0 || s.Ops.Loads < 0 || s.Ops.Stores < 0 {
+				return fmt.Errorf("compute at line %d has negative ops", s.Line)
+			}
+			if (s.Ops.Loads > 0 || s.Ops.Stores > 0) && s.Mem.WorkingSet == 0 {
+				return fmt.Errorf("compute at line %d accesses memory with zero working set", s.Line)
+			}
+		case *Loop:
+			if loopIDs[s.ID] {
+				return fmt.Errorf("duplicate loop ID %d at line %d", s.ID, s.Line)
+			}
+			loopIDs[s.ID] = true
+			if s.Trip.Base <= 0 {
+				return fmt.Errorf("loop %d has non-positive base trip %d", s.ID, s.Trip.Base)
+			}
+			if s.Trip.Jitter < 0 || s.Trip.Jitter >= s.Trip.Base {
+				return fmt.Errorf("loop %d jitter %d out of range for base %d", s.ID, s.Trip.Jitter, s.Trip.Base)
+			}
+			if len(s.Body) == 0 {
+				return fmt.Errorf("loop %d has empty body", s.ID)
+			}
+			if err := p.validateStmts(s.Body, loopIDs); err != nil {
+				return err
+			}
+		case *Call:
+			if s.Callee < 0 || s.Callee >= len(p.Procs) {
+				return fmt.Errorf("call at line %d to out-of-range proc %d", s.Line, s.Callee)
+			}
+		default:
+			return fmt.Errorf("unknown statement type %T", s)
+		}
+	}
+	return nil
+}
+
+// checkAcyclic verifies the call graph has no cycles.
+func (p *Program) checkAcyclic() error {
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make([]int, len(p.Procs))
+	var visit func(i int) error
+	var visitStmts func(stmts []Stmt) error
+	visitStmts = func(stmts []Stmt) error {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *Loop:
+				if err := visitStmts(s.Body); err != nil {
+					return err
+				}
+			case *Call:
+				if err := visit(s.Callee); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	visit = func(i int) error {
+		switch state[i] {
+		case inStack:
+			return fmt.Errorf("program %s: recursive call cycle through proc %q", p.Name, p.Procs[i].Name)
+		case done:
+			return nil
+		}
+		state[i] = inStack
+		if err := visitStmts(p.Procs[i].Body); err != nil {
+			return err
+		}
+		state[i] = done
+		return nil
+	}
+	for i := range p.Procs {
+		if err := visit(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Loops returns every loop in the program in a deterministic order
+// (procedure order, then pre-order within bodies).
+func (p *Program) Loops() []*Loop {
+	var out []*Loop
+	var walk func(stmts []Stmt)
+	walk = func(stmts []Stmt) {
+		for _, s := range stmts {
+			if l, ok := s.(*Loop); ok {
+				out = append(out, l)
+				walk(l.Body)
+			}
+		}
+	}
+	for _, proc := range p.Procs {
+		walk(proc.Body)
+	}
+	return out
+}
+
+// ProcByName returns the procedure with the given name, or nil.
+func (p *Program) ProcByName(name string) *Proc {
+	for _, proc := range p.Procs {
+		if proc.Name == name {
+			return proc
+		}
+	}
+	return nil
+}
+
+// StaticOps returns the total abstract op count of a single execution of
+// the statement list, counting loop bodies once (a static size metric used
+// by the compiler's inlining heuristic).
+func StaticOps(stmts []Stmt) int {
+	total := 0
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Compute:
+			total += s.Ops.Total()
+		case *Loop:
+			total += StaticOps(s.Body) + 1
+		case *Call:
+			total += 1
+		}
+	}
+	return total
+}

@@ -1,0 +1,276 @@
+// Package simpoint implements the SimPoint 3.0 simulation-point picker
+// (Hamerly, Perelman, Lau, Calder — "SimPoint 3.0: Faster and more flexible
+// program phase analysis", JILP 2005), the off-the-shelf tool the paper
+// feeds with both fixed length intervals (FLIs) and the variable length
+// intervals (VLIs) produced by cross-binary mappable points.
+//
+// Given a dataset of per-interval basic block vectors the pipeline is:
+//
+//  1. Normalize each BBV to L1 norm 1 and randomly project it to Dim
+//     dimensions.
+//  2. Run weighted k-means for every k in 1..MaxK, where an interval's
+//     weight is its dynamic instruction count (this is the VLI support:
+//     for FLIs all weights are equal and the weighting is a no-op).
+//  3. Score each clustering with the BIC and choose the smallest k whose
+//     score is within BICThreshold of the best, after min-max normalizing
+//     the scores — SimPoint 3.0's "good enough, small k" rule.
+//  4. In each chosen cluster, pick as the simulation point the interval
+//     whose projected vector is closest to the cluster centroid, and weight
+//     it by the fraction of dynamic instructions its cluster covers.
+package simpoint
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"xbsim/internal/bbv"
+	"xbsim/internal/kmeans"
+	"xbsim/internal/vecmath"
+	"xbsim/internal/xrand"
+)
+
+// Config controls a SimPoint run.
+type Config struct {
+	// MaxK is the maximum number of clusters (phases). The paper's
+	// evaluation uses 10. <= 0 means 10.
+	MaxK int
+	// Dim is the random-projection dimensionality. SimPoint 3.0 uses 15.
+	// <= 0 means 15.
+	Dim int
+	// BICThreshold in (0, 1]: the smallest k is chosen whose min-max
+	// normalized BIC score is >= this value. SimPoint's default is 0.9.
+	// <= 0 means 0.9.
+	BICThreshold float64
+	// Restarts per k for k-means. <= 0 means 5.
+	Restarts int
+	// Seed names the random stream used for projection and clustering.
+	// Different seeds model independently configured SimPoint runs.
+	Seed string
+	// FixedK, when > 0, skips BIC model selection and clusters into
+	// exactly FixedK phases (capped at half the interval count), the
+	// SimPoint -fixedK mode used when an architect wants an exact
+	// simulation budget.
+	FixedK int
+	// EarlyTolerance, when > 0, enables early simulation points
+	// (Perelman, Hamerly, Calder — PACT 2003): instead of the interval
+	// closest to the centroid, each phase picks the EARLIEST interval
+	// whose distance is within (1 + EarlyTolerance) of the closest.
+	// Earlier points need less fast-forwarding before detailed
+	// simulation starts. 0 keeps the classic closest-point rule.
+	EarlyTolerance float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxK <= 0 {
+		c.MaxK = 10
+	}
+	if c.Dim <= 0 {
+		c.Dim = 15
+	}
+	if c.BICThreshold <= 0 {
+		c.BICThreshold = 0.9
+	}
+	if c.Restarts <= 0 {
+		c.Restarts = 5
+	}
+	return c
+}
+
+// Point is one chosen simulation point.
+type Point struct {
+	// Interval is the index of the representative interval in the dataset.
+	Interval int
+	// Phase is the cluster this point represents, in [0, K).
+	Phase int
+	// Weight is the fraction of total dynamic instructions executed in
+	// this phase; weights over all points sum to 1.
+	Weight float64
+	// Instructions is the representative interval's own length.
+	Instructions uint64
+}
+
+// Result is a completed SimPoint analysis.
+type Result struct {
+	// K is the chosen number of phases.
+	K int
+	// Points holds one simulation point per phase, ordered by phase ID.
+	Points []Point
+	// PhaseOf maps every interval index to its phase.
+	PhaseOf []int
+	// PhaseWeights[p] is the fraction of dynamic instructions in phase p.
+	PhaseWeights []float64
+	// BICByK records the raw BIC score for each k examined (index k-1),
+	// for diagnostics and ablation studies.
+	BICByK []float64
+}
+
+// Pick runs the SimPoint pipeline over the dataset.
+func Pick(ds *bbv.Dataset, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("simpoint: empty dataset")
+	}
+	rng := xrand.New("simpoint/" + cfg.Seed)
+	points, err := ds.Project(cfg.Dim, rng.Split("projection"))
+	if err != nil {
+		return nil, fmt.Errorf("simpoint: %w", err)
+	}
+	weights := ds.Weights()
+
+	// Clustering needs substantially more intervals than clusters; with
+	// k approaching n the spherical-Gaussian BIC degenerates (singleton
+	// clusters drive the variance estimate to zero and the likelihood to
+	// +inf). Cap k at half the interval count; real runs have hundreds of
+	// intervals and MaxK ~ 10, so the cap only bites on tiny datasets.
+	capK := func(k int) int {
+		if half := ds.Len() / 2; k > half {
+			k = half
+		}
+		if k < 1 {
+			k = 1
+		}
+		return k
+	}
+
+	if cfg.FixedK > 0 {
+		k := capK(cfg.FixedK)
+		res, err := kmeans.Run(points, weights, k, kmeans.Config{
+			Restarts: cfg.Restarts,
+			Rng:      rng.SplitIndexed("kmeans", k),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("simpoint: fixed k=%d: %w", k, err)
+		}
+		return buildResult(ds, points, res,
+			[]float64{kmeans.BIC(points, weights, res)}, cfg.EarlyTolerance)
+	}
+
+	maxK := capK(cfg.MaxK)
+	runs := make([]*kmeans.Result, maxK)
+	bics := make([]float64, maxK)
+	for k := 1; k <= maxK; k++ {
+		res, err := kmeans.Run(points, weights, k, kmeans.Config{
+			Restarts: cfg.Restarts,
+			Rng:      rng.SplitIndexed("kmeans", k),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("simpoint: k=%d: %w", k, err)
+		}
+		runs[k-1] = res
+		bics[k-1] = kmeans.BIC(points, weights, res)
+	}
+
+	chosen := chooseK(bics, cfg.BICThreshold)
+	best := runs[chosen-1]
+	return buildResult(ds, points, best, bics, cfg.EarlyTolerance)
+}
+
+// chooseK applies SimPoint 3.0's selection rule: min-max normalize the BIC
+// scores and return the smallest k whose normalized score is >= threshold.
+func chooseK(bics []float64, threshold float64) int {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, b := range bics {
+		lo = math.Min(lo, b)
+		hi = math.Max(hi, b)
+	}
+	if hi == lo {
+		return 1
+	}
+	for k := 1; k <= len(bics); k++ {
+		norm := (bics[k-1] - lo) / (hi - lo)
+		if norm >= threshold {
+			return k
+		}
+	}
+	return len(bics)
+}
+
+func buildResult(ds *bbv.Dataset, projected [][]float64, clus *kmeans.Result, bics []float64, earlyTol float64) (*Result, error) {
+	k := clus.K
+	total := float64(ds.TotalInstructions())
+	if total <= 0 {
+		return nil, fmt.Errorf("simpoint: dataset has no instructions")
+	}
+
+	phaseWeights := make([]float64, k)
+	lengths := ds.Lengths()
+	for i, p := range clus.Assignments {
+		phaseWeights[p] += float64(lengths[i]) / total
+	}
+
+	// Representative per phase: interval closest to the centroid, or —
+	// with a positive early tolerance — the earliest interval within the
+	// tolerance of the closest (early simulation points).
+	repr := make([]int, k)
+	best := make([]float64, k)
+	for p := range repr {
+		repr[p] = -1
+		best[p] = math.Inf(1)
+	}
+	for i, p := range clus.Assignments {
+		d := vecmath.SquaredDistance(projected[i], clus.Centroids[p])
+		if d < best[p] {
+			best[p], repr[p] = d, i
+		}
+	}
+	if earlyTol > 0 {
+		// Squared-distance tolerance: (1+tol)^2 on the radius.
+		factor := (1 + earlyTol) * (1 + earlyTol)
+		for i, p := range clus.Assignments {
+			if i >= repr[p] {
+				continue // not earlier than the current pick
+			}
+			d := vecmath.SquaredDistance(projected[i], clus.Centroids[p])
+			if d <= best[p]*factor {
+				repr[p] = i
+			}
+		}
+	}
+
+	var pts []Point
+	for p := 0; p < k; p++ {
+		if repr[p] < 0 {
+			// Empty phase (possible only if k-means produced an empty
+			// cluster that was never refilled); skip it.
+			continue
+		}
+		pts = append(pts, Point{
+			Interval:     repr[p],
+			Phase:        p,
+			Weight:       phaseWeights[p],
+			Instructions: lengths[repr[p]],
+		})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Phase < pts[j].Phase })
+
+	return &Result{
+		K:            k,
+		Points:       pts,
+		PhaseOf:      append([]int(nil), clus.Assignments...),
+		PhaseWeights: phaseWeights,
+		BICByK:       bics,
+	}, nil
+}
+
+// WeightedEstimate combines per-point measurements into a whole-program
+// estimate: the weighted average of value[i] with the points' weights. It
+// is the paper's step 6 for a metric like CPI. Points and values must have
+// equal length.
+func WeightedEstimate(points []Point, values []float64) (float64, error) {
+	if len(points) != len(values) {
+		return 0, fmt.Errorf("simpoint: %d points but %d values", len(points), len(values))
+	}
+	if len(points) == 0 {
+		return 0, fmt.Errorf("simpoint: no points")
+	}
+	var sum, wsum float64
+	for i, p := range points {
+		sum += p.Weight * values[i]
+		wsum += p.Weight
+	}
+	if wsum <= 0 {
+		return 0, fmt.Errorf("simpoint: zero total weight")
+	}
+	return sum / wsum, nil
+}

@@ -1,0 +1,255 @@
+package simpoint
+
+import (
+	"math"
+	"testing"
+
+	"xbsim/internal/bbv"
+	"xbsim/internal/xrand"
+)
+
+// phasedDataset builds a dataset with `phases` distinct code signatures,
+// cycling phase-by-phase, `perPhase` intervals each visit, `visits` visits.
+// Each phase touches a disjoint set of basic blocks, so clustering should
+// recover the phases exactly.
+func phasedDataset(phases, perPhase, visits int, jitter float64, seed string) (*bbv.Dataset, []int) {
+	rng := xrand.New(seed)
+	ds := bbv.NewDataset()
+	var truth []int
+	v := bbv.NewVector()
+	for visit := 0; visit < visits; visit++ {
+		for ph := 0; ph < phases; ph++ {
+			for i := 0; i < perPhase; i++ {
+				v.Reset()
+				base := ph * 10
+				for b := 0; b < 8; b++ {
+					execs := uint64(100 + float64(50*b)*(1+jitter*rng.NormFloat64()))
+					v.Add(base+b, execs, b%4+1)
+				}
+				ds.Append(v)
+				truth = append(truth, ph)
+			}
+		}
+	}
+	return ds, truth
+}
+
+func TestPickRecoversPhases(t *testing.T) {
+	ds, truth := phasedDataset(3, 4, 3, 0.02, "recover")
+	res, err := Pick(ds, Config{MaxK: 10, Seed: "t1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 3 {
+		t.Fatalf("chose K=%d, want 3 (BICs %v)", res.K, res.BICByK)
+	}
+	// All intervals of a true phase must land in one cluster.
+	seen := map[int]int{}
+	for i, ph := range truth {
+		c := res.PhaseOf[i]
+		if prev, ok := seen[ph]; ok && prev != c {
+			t.Fatalf("true phase %d split across clusters", ph)
+		}
+		seen[ph] = c
+	}
+}
+
+func TestPickWeightsSumToOne(t *testing.T) {
+	ds, _ := phasedDataset(4, 3, 2, 0.05, "weights")
+	res, err := Pick(ds, Config{Seed: "t2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range res.Points {
+		if p.Weight < 0 || p.Weight > 1 {
+			t.Fatalf("point weight %v out of range", p.Weight)
+		}
+		sum += p.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}
+
+func TestPickRepresentativeIsMemberOfPhase(t *testing.T) {
+	ds, _ := phasedDataset(3, 5, 2, 0.05, "member")
+	res, err := Pick(ds, Config{Seed: "t3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if res.PhaseOf[p.Interval] != p.Phase {
+			t.Fatalf("representative interval %d not in its phase %d", p.Interval, p.Phase)
+		}
+		if p.Instructions != ds.Lengths()[p.Interval] {
+			t.Fatalf("point instruction count mismatch")
+		}
+	}
+}
+
+func TestPickRespectsMaxK(t *testing.T) {
+	ds, _ := phasedDataset(6, 2, 2, 0.02, "maxk")
+	res, err := Pick(ds, Config{MaxK: 3, Seed: "t4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 3 {
+		t.Fatalf("K=%d exceeds MaxK=3", res.K)
+	}
+	if len(res.BICByK) != 3 {
+		t.Fatalf("BICByK has %d entries", len(res.BICByK))
+	}
+}
+
+func TestPickSingleBehaviorChoosesOnePhase(t *testing.T) {
+	// Perfectly homogeneous execution (identical interval signatures) must
+	// collapse to a single phase carrying all the weight.
+	ds, _ := phasedDataset(1, 10, 1, 0, "single")
+	res, err := Pick(ds, Config{Seed: "t5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 {
+		t.Fatalf("homogeneous execution clustered into K=%d", res.K)
+	}
+	if len(res.Points) != 1 || math.Abs(res.Points[0].Weight-1) > 1e-9 {
+		t.Fatalf("single phase should carry all weight: %+v", res.Points)
+	}
+}
+
+func TestPickNoisySingleBehaviorStaysAccurate(t *testing.T) {
+	// With measurement-level jitter on one behavior, SimPoint may split
+	// the blob into a few phases — which is harmless as long as every
+	// representative has the same signature and weights sum to one.
+	ds, _ := phasedDataset(1, 12, 1, 0.01, "noisy-single")
+	res, err := Pick(ds, Config{Seed: "t5b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range res.Points {
+		sum += p.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}
+
+func TestPickDeterministicForSeed(t *testing.T) {
+	ds, _ := phasedDataset(3, 4, 2, 0.05, "det")
+	a, err := Pick(ds, Config{Seed: "same"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Pick(ds, Config{Seed: "same"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != b.K || len(a.Points) != len(b.Points) {
+		t.Fatal("runs with same seed differ")
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestPickDifferentSeedsMayDiffer(t *testing.T) {
+	// Not a strict requirement, but the plumbing must at least feed the
+	// seed through: the projections must differ.
+	ds, _ := phasedDataset(3, 4, 2, 0.3, "seeds")
+	a, _ := Pick(ds, Config{Seed: "alpha"})
+	b, _ := Pick(ds, Config{Seed: "beta"})
+	if a == nil || b == nil {
+		t.Fatal("nil result")
+	}
+	// BIC traces are computed on differently projected data, so exact
+	// equality across all k would indicate the seed is ignored.
+	same := true
+	for i := range a.BICByK {
+		if i < len(b.BICByK) && a.BICByK[i] != b.BICByK[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical BIC traces; seed ignored?")
+	}
+}
+
+func TestPickErrors(t *testing.T) {
+	if _, err := Pick(nil, Config{}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := Pick(bbv.NewDataset(), Config{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	ds := bbv.NewDataset()
+	ds.Append(bbv.NewVector()) // empty interval
+	if _, err := Pick(ds, Config{}); err == nil {
+		t.Error("empty interval accepted")
+	}
+}
+
+func TestChooseK(t *testing.T) {
+	// Scores rise to a plateau; rule should pick the first k at >= 90% of
+	// the normalized range.
+	bics := []float64{-100, -20, -5, -4, -3}
+	if got := chooseK(bics, 0.9); got != 3 {
+		t.Fatalf("chooseK = %d, want 3", got)
+	}
+	if got := chooseK(bics, 1.0); got != 5 {
+		t.Fatalf("chooseK(threshold=1) = %d, want 5", got)
+	}
+	if got := chooseK([]float64{7, 7, 7}, 0.9); got != 1 {
+		t.Fatalf("chooseK flat = %d, want 1", got)
+	}
+}
+
+func TestVLIWeightingInfluencesPhaseWeights(t *testing.T) {
+	// Two behaviors; behavior A intervals are 10x longer. Phase weights
+	// must reflect instructions, not interval counts.
+	ds := bbv.NewDataset()
+	v := bbv.NewVector()
+	for i := 0; i < 4; i++ {
+		v.Reset()
+		v.Add(0, 1000, 10) // behavior A: 10000 instructions
+		ds.Append(v)
+		v.Reset()
+		v.Add(50, 100, 10) // behavior B: 1000 instructions
+		ds.Append(v)
+	}
+	res, err := Pick(ds, Config{Seed: "vli"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 {
+		t.Fatalf("K=%d, want 2", res.K)
+	}
+	weights := []float64{res.Points[0].Weight, res.Points[1].Weight}
+	hi, lo := math.Max(weights[0], weights[1]), math.Min(weights[0], weights[1])
+	if math.Abs(hi-10.0/11.0) > 1e-9 || math.Abs(lo-1.0/11.0) > 1e-9 {
+		t.Fatalf("phase weights %v, want 10/11 and 1/11", weights)
+	}
+}
+
+func TestWeightedEstimate(t *testing.T) {
+	pts := []Point{{Weight: 0.6}, {Weight: 0.4}}
+	got, err := WeightedEstimate(pts, []float64{2.0, 3.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.4) > 1e-12 {
+		t.Fatalf("estimate = %v, want 2.4", got)
+	}
+	if _, err := WeightedEstimate(pts, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := WeightedEstimate(nil, nil); err == nil {
+		t.Error("empty points accepted")
+	}
+	if _, err := WeightedEstimate([]Point{{Weight: 0}}, []float64{1}); err == nil {
+		t.Error("zero total weight accepted")
+	}
+}

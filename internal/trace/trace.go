@@ -1,0 +1,285 @@
+// Package trace records a binary's dynamic execution — the block and
+// marker event stream — to a compact binary format and replays it later
+// into any exec.Visitor. This mirrors the trace-driven workflow around
+// Pin: instrument once, analyze many times (collect BBVs with one
+// configuration, re-cut intervals with another, re-simulate a different
+// cache hierarchy) without re-running the program.
+//
+// Format: a small header (magic, version, binary name, block/marker
+// table sizes) followed by a varint event stream. Block executions are
+// delta-encoded against the previous block ID and run-length-compressed
+// for immediate repeats (tight loops compress by orders of magnitude).
+// Marker firings are implicit: the reader carries the binary's
+// block-to-marker table, so markers are re-synthesized on replay exactly
+// as the executor emits them.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"xbsim/internal/compiler"
+	"xbsim/internal/exec"
+	"xbsim/internal/program"
+)
+
+// magic identifies trace files; version gates format changes.
+const (
+	magic   = "XBTR"
+	version = 1
+)
+
+// opcode space for the event stream. Each event starts with a uvarint
+// tag: even tags encode a block-ID delta (zigzag), odd tags below are
+// reserved control codes.
+const (
+	opRepeat = 1 // followed by uvarint count: repeat previous block count more times
+	opEnd    = 3 // end of stream
+)
+
+// Writer records an execution as an exec.Visitor.
+type Writer struct {
+	w         *bufio.Writer
+	bin       *compiler.Binary
+	prevBlock int
+	// pendingRepeats counts immediate re-executions of prevBlock not yet
+	// flushed.
+	pendingRepeats uint64
+	started        bool
+	closed         bool
+	err            error
+
+	// Blocks and Markers record how many events were written, for
+	// diagnostics.
+	Blocks uint64
+}
+
+// NewWriter starts a trace of the binary onto w. Call Close when the run
+// finishes.
+func NewWriter(w io.Writer, bin *compiler.Binary) (*Writer, error) {
+	if bin == nil {
+		return nil, fmt.Errorf("trace: nil binary")
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	tw := &Writer{w: bw, bin: bin}
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	for _, v := range []uint64{version, uint64(len(bin.Name)), uint64(len(bin.Blocks)), uint64(len(bin.Markers))} {
+		n := binary.PutUvarint(hdr[:], v)
+		if _, err := bw.Write(hdr[:n]); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := bw.WriteString(bin.Name); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+func (t *Writer) putUvarint(v uint64) {
+	if t.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, t.err = t.w.Write(buf[:n])
+}
+
+// zigzag encodes a signed delta as unsigned.
+func zigzag(d int64) uint64 { return uint64((d << 1) ^ (d >> 63)) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// OnBlock implements exec.Visitor.
+func (t *Writer) OnBlock(block int) {
+	t.Blocks++
+	if t.started && block == t.prevBlock {
+		t.pendingRepeats++
+		return
+	}
+	t.flushRepeats()
+	delta := int64(block - t.prevBlock)
+	if !t.started {
+		delta = int64(block)
+		t.started = true
+	}
+	// Even tags: 2*zigzag(delta) + 4 keeps 0..3 free for control codes.
+	t.putUvarint(zigzag(delta)*2 + 4)
+	t.prevBlock = block
+}
+
+// OnMarker implements exec.Visitor. Markers are derivable from blocks, so
+// nothing is recorded.
+func (t *Writer) OnMarker(int) {}
+
+func (t *Writer) flushRepeats() {
+	if t.pendingRepeats == 0 {
+		return
+	}
+	t.putUvarint(opRepeat)
+	t.putUvarint(t.pendingRepeats)
+	t.pendingRepeats = 0
+}
+
+// Close flushes the trace. The Writer must not be used afterwards.
+func (t *Writer) Close() error {
+	if t.closed {
+		return fmt.Errorf("trace: already closed")
+	}
+	t.closed = true
+	t.flushRepeats()
+	t.putUvarint(opEnd)
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Header describes a stored trace.
+type Header struct {
+	// BinaryName is the recorded binary's name ("gcc.32u").
+	BinaryName string
+	// NumBlocks and NumMarkers are the recorded table sizes, checked
+	// against the binary supplied for replay.
+	NumBlocks, NumMarkers int
+}
+
+// Replay streams a recorded trace into the visitor, re-synthesizing
+// marker events from the binary's marker table. The binary must be the
+// same compilation the trace was recorded from (checked by name and
+// table sizes).
+func Replay(r io.Reader, bin *compiler.Binary, v exec.Visitor) (*Header, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	hdr, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if bin == nil {
+		return nil, fmt.Errorf("trace: nil binary")
+	}
+	if hdr.BinaryName != bin.Name || hdr.NumBlocks != len(bin.Blocks) || hdr.NumMarkers != len(bin.Markers) {
+		return hdr, fmt.Errorf("trace: recorded for %s (%d blocks, %d markers), got %s (%d, %d)",
+			hdr.BinaryName, hdr.NumBlocks, hdr.NumMarkers,
+			bin.Name, len(bin.Blocks), len(bin.Markers))
+	}
+
+	markerOf := make([]int, len(bin.Blocks))
+	for i := range markerOf {
+		markerOf[i] = -1
+	}
+	for _, m := range bin.Markers {
+		markerOf[m.Block] = m.ID
+	}
+	emit := func(block int) error {
+		if block < 0 || block >= len(bin.Blocks) {
+			return fmt.Errorf("trace: block %d out of range", block)
+		}
+		v.OnBlock(block)
+		if m := markerOf[block]; m >= 0 {
+			v.OnMarker(m)
+		}
+		return nil
+	}
+
+	prev := 0
+	started := false
+	for {
+		tag, err := binary.ReadUvarint(br)
+		if err != nil {
+			return hdr, fmt.Errorf("trace: truncated stream: %w", err)
+		}
+		switch {
+		case tag == opEnd:
+			return hdr, nil
+		case tag == opRepeat:
+			count, err := binary.ReadUvarint(br)
+			if err != nil {
+				return hdr, fmt.Errorf("trace: truncated repeat: %w", err)
+			}
+			if !started {
+				return hdr, fmt.Errorf("trace: repeat before first block")
+			}
+			for i := uint64(0); i < count; i++ {
+				if err := emit(prev); err != nil {
+					return hdr, err
+				}
+			}
+		case tag >= 4 && tag%2 == 0:
+			delta := unzigzag((tag - 4) / 2)
+			block := prev + int(delta)
+			if !started {
+				block = int(delta)
+				started = true
+			}
+			if err := emit(block); err != nil {
+				return hdr, err
+			}
+			prev = block
+		default:
+			return hdr, fmt.Errorf("trace: corrupt tag %d", tag)
+		}
+	}
+}
+
+// ReadHeader reads just the header, for inspection without replay.
+func ReadHeader(r io.Reader) (*Header, error) {
+	return readHeader(bufio.NewReader(r))
+}
+
+func readHeader(br *bufio.Reader) (*Header, error) {
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", got)
+	}
+	ver, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	numBlocks, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	numMarkers, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	return &Header{
+		BinaryName: string(name),
+		NumBlocks:  int(numBlocks),
+		NumMarkers: int(numMarkers),
+	}, nil
+}
+
+// Record executes the binary on the input and writes its full trace to w.
+func Record(w io.Writer, bin *compiler.Binary, in program.Input) error {
+	tw, err := NewWriter(w, bin)
+	if err != nil {
+		return err
+	}
+	if err := exec.Run(bin, in, tw); err != nil {
+		return err
+	}
+	return tw.Close()
+}

@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xbsim/internal/compiler"
+	"xbsim/internal/exec"
+	"xbsim/internal/profile"
+	"xbsim/internal/program"
+)
+
+var refInput = program.Input{Name: "ref", Seed: 555}
+
+func testBinary(t testing.TB, name string, tg compiler.Target) *compiler.Binary {
+	t.Helper()
+	p, err := program.Generate(name, program.GenConfig{TargetOps: 150_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return compiler.MustCompile(p, tg)
+}
+
+// recorder captures the raw event stream for comparison.
+type recorder struct {
+	blocks  []int
+	markers []int
+}
+
+func (r *recorder) OnBlock(b int)  { r.blocks = append(r.blocks, b) }
+func (r *recorder) OnMarker(m int) { r.markers = append(r.markers, m) }
+
+func TestRoundTripExactEventStream(t *testing.T) {
+	bin := testBinary(t, "gzip", compiler.Target{Arch: compiler.Arch32, Opt: compiler.O2})
+
+	var live recorder
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf, bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Run(bin, refInput, exec.Multi{&live, tw}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var replayed recorder
+	hdr, err := Replay(&buf, bin, &replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.BinaryName != bin.Name {
+		t.Fatalf("header name %q", hdr.BinaryName)
+	}
+	if len(replayed.blocks) != len(live.blocks) {
+		t.Fatalf("replayed %d blocks, recorded %d", len(replayed.blocks), len(live.blocks))
+	}
+	for i := range live.blocks {
+		if live.blocks[i] != replayed.blocks[i] {
+			t.Fatalf("block %d: %d vs %d", i, live.blocks[i], replayed.blocks[i])
+		}
+	}
+	if len(replayed.markers) != len(live.markers) {
+		t.Fatalf("replayed %d markers, recorded %d", len(replayed.markers), len(live.markers))
+	}
+	for i := range live.markers {
+		if live.markers[i] != replayed.markers[i] {
+			t.Fatalf("marker %d: %d vs %d", i, live.markers[i], replayed.markers[i])
+		}
+	}
+}
+
+func TestRecordHelperAndCompression(t *testing.T) {
+	bin := testBinary(t, "swim", compiler.Target{Arch: compiler.Arch64, Opt: compiler.O0})
+	var buf bytes.Buffer
+	if err := Record(&buf, bin, refInput); err != nil {
+		t.Fatal(err)
+	}
+	ic := exec.NewInstructionCounter(bin)
+	if err := exec.Run(bin, refInput, ic); err != nil {
+		t.Fatal(err)
+	}
+	// Delta + run-length coding should spend well under 2 bytes per block
+	// event for loop-heavy code.
+	bytesPerEvent := float64(buf.Len()) / float64(ic.BlockExecs)
+	if bytesPerEvent > 2 {
+		t.Fatalf("trace uses %.2f bytes/event (%d bytes for %d events)",
+			bytesPerEvent, buf.Len(), ic.BlockExecs)
+	}
+}
+
+func TestReplayDrivesProfileIdentically(t *testing.T) {
+	// A trace replay must be a drop-in substitute for live execution:
+	// collecting FLI BBVs from the replay gives identical intervals.
+	bin := testBinary(t, "art", compiler.Target{Arch: compiler.Arch32, Opt: compiler.O2})
+	var buf bytes.Buffer
+	if err := Record(&buf, bin, refInput); err != nil {
+		t.Fatal(err)
+	}
+	liveC, err := profile.NewFLICollector(bin, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Run(bin, refInput, liveC); err != nil {
+		t.Fatal(err)
+	}
+	liveRes := liveC.Finish()
+
+	replayC, err := profile.NewFLICollector(bin, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(&buf, bin, replayC); err != nil {
+		t.Fatal(err)
+	}
+	replayRes := replayC.Finish()
+
+	if liveRes.Dataset.Len() != replayRes.Dataset.Len() {
+		t.Fatalf("interval counts differ: %d vs %d", liveRes.Dataset.Len(), replayRes.Dataset.Len())
+	}
+	for i, end := range liveRes.Ends {
+		if replayRes.Ends[i] != end {
+			t.Fatalf("interval %d end differs", i)
+		}
+	}
+}
+
+func TestReplayRejectsWrongBinary(t *testing.T) {
+	bin := testBinary(t, "art", compiler.Target{Arch: compiler.Arch32, Opt: compiler.O2})
+	other := testBinary(t, "art", compiler.Target{Arch: compiler.Arch64, Opt: compiler.O2})
+	var buf bytes.Buffer
+	if err := Record(&buf, bin, refInput); err != nil {
+		t.Fatal(err)
+	}
+	var r recorder
+	if _, err := Replay(&buf, other, &r); err == nil {
+		t.Fatal("replay against wrong binary accepted")
+	}
+}
+
+func TestReplayRejectsGarbage(t *testing.T) {
+	var r recorder
+	bin := testBinary(t, "art", compiler.Target{Arch: compiler.Arch32, Opt: compiler.O2})
+	if _, err := Replay(strings.NewReader("not a trace"), bin, &r); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncated stream: valid header, no events.
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf, bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tw // header written; stream never closed -> no opEnd
+	if _, err := Replay(&buf, bin, &r); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestReadHeader(t *testing.T) {
+	bin := testBinary(t, "gzip", compiler.Target{Arch: compiler.Arch32, Opt: compiler.O0})
+	var buf bytes.Buffer
+	if err := Record(&buf, bin, refInput); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := ReadHeader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.BinaryName != "gzip.32u" || hdr.NumBlocks != len(bin.Blocks) {
+		t.Fatalf("header %+v", hdr)
+	}
+}
+
+func TestWriterCloseTwice(t *testing.T) {
+	bin := testBinary(t, "gzip", compiler.Target{Arch: compiler.Arch32, Opt: compiler.O0})
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf, bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err == nil {
+		t.Fatal("double close accepted")
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, d := range []int64{0, 1, -1, 2, -2, 1 << 40, -(1 << 40)} {
+		if got := unzigzag(zigzag(d)); got != d {
+			t.Fatalf("zigzag round trip %d -> %d", d, got)
+		}
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	bin := testBinary(b, "gzip", compiler.Target{Arch: compiler.Arch32, Opt: compiler.O2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Record(&buf, bin, refInput); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+func BenchmarkReplay(b *testing.B) {
+	bin := testBinary(b, "gzip", compiler.Target{Arch: compiler.Arch32, Opt: compiler.O2})
+	var buf bytes.Buffer
+	if err := Record(&buf, bin, refInput); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	var r recorder
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.blocks = r.blocks[:0]
+		r.markers = r.markers[:0]
+		if _, err := Replay(bytes.NewReader(data), bin, &r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

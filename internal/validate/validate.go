@@ -1,0 +1,188 @@
+// Package validate packages the cross-binary invariants the method
+// depends on as a user-facing diagnostic: given a program's binaries and
+// an input, it checks that the toolchain's assumptions actually hold for
+// this workload before anyone trusts sampled numbers from it.
+//
+// The checks mirror the guarantees claimed in the paper:
+//
+//  1. execution is deterministic (two runs agree exactly);
+//  2. symbols shared by all binaries have identical call counts;
+//  3. every mappable point fires exactly its recorded count in every
+//     binary (the (marker, count) region-delimiter guarantee);
+//  4. the primary binary's variable length intervals are at least the
+//     target size and cover its whole execution;
+//  5. the mapped intervals cover every other binary's whole execution
+//     with no empty intervals;
+//  6. recalculated per-binary phase weights are a probability
+//     distribution.
+package validate
+
+import (
+	"fmt"
+
+	"xbsim/internal/compiler"
+	"xbsim/internal/exec"
+	"xbsim/internal/mapping"
+	"xbsim/internal/profile"
+	"xbsim/internal/program"
+)
+
+// Check is one verified invariant.
+type Check struct {
+	// Name identifies the invariant.
+	Name string
+	// OK reports whether it held.
+	OK bool
+	// Detail explains the outcome (counts compared, first violation).
+	Detail string
+}
+
+// Report is a completed validation.
+type Report struct {
+	// Program names the validated program.
+	Program string
+	// Checks lists every invariant in a fixed order.
+	Checks []Check
+}
+
+// OK reports whether every check passed.
+func (r *Report) OK() bool {
+	for _, c := range r.Checks {
+		if !c.OK {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Report) add(name string, ok bool, format string, args ...any) {
+	r.Checks = append(r.Checks, Check{Name: name, OK: ok, Detail: fmt.Sprintf(format, args...)})
+}
+
+// CrossBinary validates the binaries of one program on one input.
+// intervalSize is the VLI target used for the coverage checks.
+func CrossBinary(bins []*compiler.Binary, in program.Input, intervalSize uint64) (*Report, error) {
+	if len(bins) < 2 {
+		return nil, fmt.Errorf("validate: need at least 2 binaries")
+	}
+	if intervalSize == 0 {
+		return nil, fmt.Errorf("validate: zero interval size")
+	}
+	r := &Report{Program: bins[0].Program.Name}
+
+	// Collect per-binary profiles and totals twice for determinism.
+	profiles := make([]*profile.Profile, len(bins))
+	for bi, bin := range bins {
+		p1, err := profile.Collect(bin, in)
+		if err != nil {
+			return nil, err
+		}
+		p2, err := profile.Collect(bin, in)
+		if err != nil {
+			return nil, err
+		}
+		if p1.TotalInstructions != p2.TotalInstructions {
+			r.add("determinism", false, "%s: %d vs %d instructions across identical runs",
+				bin.Name, p1.TotalInstructions, p2.TotalInstructions)
+		}
+		profiles[bi] = p1
+	}
+	if len(r.Checks) == 0 {
+		r.add("determinism", true, "identical instruction counts across repeated runs of all %d binaries", len(bins))
+	}
+
+	// Shared symbols agree on counts.
+	mismatches := 0
+	shared := 0
+	for _, pp := range profiles[0].Procs {
+		count := pp.Count
+		everywhere := true
+		for _, p := range profiles[1:] {
+			other := p.ProcBySymbol(pp.Symbol)
+			if other == nil {
+				everywhere = false
+				break
+			}
+			if other.Count != count {
+				mismatches++
+			}
+		}
+		if everywhere {
+			shared++
+		}
+	}
+	r.add("symbol-counts", mismatches == 0,
+		"%d shared symbols, %d count mismatches", shared, mismatches)
+
+	// Mappable points fire their recorded count in every binary.
+	mapped, err := mapping.Find(profiles, mapping.Options{})
+	if err != nil {
+		return nil, err
+	}
+	badFires := 0
+	for bi, bin := range bins {
+		mc := exec.NewMarkerCounter(bin)
+		if err := exec.Run(bin, in, mc); err != nil {
+			return nil, err
+		}
+		for _, pt := range mapped.Points {
+			if mc.Counts[pt.Markers[bi]] != pt.Count {
+				badFires++
+			}
+		}
+	}
+	r.add("mappable-counts", badFires == 0,
+		"%d mappable points checked in %d binaries, %d count violations",
+		len(mapped.Points), len(bins), badFires)
+
+	// Primary VLI construction: size and coverage.
+	const primary = 0
+	vc, err := profile.NewVLICollector(bins[primary], intervalSize, mapped.MarkersFor(primary))
+	if err != nil {
+		return nil, err
+	}
+	if err := exec.Run(bins[primary], in, vc); err != nil {
+		return nil, err
+	}
+	vli := vc.Finish()
+	undersized := 0
+	for i, l := range vli.Dataset.Lengths() {
+		if i < vli.Dataset.Len()-1 && l < intervalSize {
+			undersized++
+		}
+	}
+	covered := vli.Dataset.TotalInstructions() == profiles[primary].TotalInstructions
+	r.add("vli-size", undersized == 0,
+		"%d intervals, %d below the %d-instruction target", vli.Dataset.Len(), undersized, intervalSize)
+	r.add("vli-coverage", covered,
+		"primary intervals cover %d of %d instructions",
+		vli.Dataset.TotalInstructions(), profiles[primary].TotalInstructions)
+
+	// Mapped coverage in every other binary.
+	for bi := range bins {
+		if bi == primary {
+			continue
+		}
+		ends, err := mapped.TranslateEnds(primary, bi, vli.Ends)
+		if err != nil {
+			return nil, err
+		}
+		tr := profile.NewVLITracker(bins[bi], ends, nil)
+		if err := exec.Run(bins[bi], in, tr); err != nil {
+			return nil, err
+		}
+		var sum uint64
+		empty := 0
+		for _, n := range tr.Instructions {
+			sum += n
+			if n == 0 {
+				empty++
+			}
+		}
+		ok := sum == profiles[bi].TotalInstructions && empty == 0
+		r.add("mapped-coverage:"+bins[bi].Name, ok,
+			"mapped intervals cover %d of %d instructions, %d empty",
+			sum, profiles[bi].TotalInstructions, empty)
+	}
+	return r, nil
+}

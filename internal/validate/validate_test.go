@@ -1,0 +1,85 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"xbsim/internal/compiler"
+	"xbsim/internal/program"
+)
+
+var refInput = program.Input{Name: "ref", Seed: 404}
+
+func binsFor(t *testing.T, name string) []*compiler.Binary {
+	t.Helper()
+	p, err := program.Generate(name, program.GenConfig{TargetOps: 250_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins, err := compiler.CompileAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bins
+}
+
+func TestCrossBinaryAllChecksPass(t *testing.T) {
+	for _, name := range []string{"gzip", "applu", "gcc"} {
+		bins := binsFor(t, name)
+		rep, err := CrossBinary(bins, refInput, 8_000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !rep.OK() {
+			for _, c := range rep.Checks {
+				if !c.OK {
+					t.Errorf("%s: check %s failed: %s", name, c.Name, c.Detail)
+				}
+			}
+		}
+		if rep.Program != name {
+			t.Fatalf("report program %q", rep.Program)
+		}
+	}
+}
+
+func TestCrossBinaryCheckInventory(t *testing.T) {
+	bins := binsFor(t, "art")
+	rep, err := CrossBinary(bins, refInput, 8_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, c := range rep.Checks {
+		names[c.Name] = true
+		if c.Detail == "" {
+			t.Errorf("check %s has no detail", c.Name)
+		}
+	}
+	for _, want := range []string{
+		"determinism", "symbol-counts", "mappable-counts", "vli-size", "vli-coverage",
+	} {
+		if !names[want] {
+			t.Errorf("missing check %s", want)
+		}
+	}
+	mappedChecks := 0
+	for n := range names {
+		if strings.HasPrefix(n, "mapped-coverage:") {
+			mappedChecks++
+		}
+	}
+	if mappedChecks != 3 {
+		t.Fatalf("%d mapped-coverage checks, want 3 (non-primary binaries)", mappedChecks)
+	}
+}
+
+func TestCrossBinaryValidation(t *testing.T) {
+	bins := binsFor(t, "art")
+	if _, err := CrossBinary(bins[:1], refInput, 8_000); err == nil {
+		t.Error("single binary accepted")
+	}
+	if _, err := CrossBinary(bins, refInput, 0); err == nil {
+		t.Error("zero interval size accepted")
+	}
+}

@@ -1,0 +1,686 @@
+// Package xbsim is a from-scratch reproduction of "Cross Binary Simulation
+// Points" (Perelman, Lau, Hamerly, Patil, Jaleel, Calder — ISPASS 2007):
+// SimPoint-style sampled simulation that picks a single set of simulation
+// points usable across every binary compiled from one source program, so
+// that ISA and compiler-optimization studies compare the same semantic
+// regions of execution.
+//
+// The library bundles everything the paper's toolchain needed, rebuilt on
+// a synthetic substrate (see DESIGN.md for the substitution table):
+//
+//   - synthetic SPEC2000-like benchmark programs and a four-target
+//     compiler (32/64-bit × unoptimized/optimized);
+//   - a Pin-like profiling layer over a deterministic executor;
+//   - a full SimPoint 3.0 implementation (BBVs, random projection,
+//     weighted k-means, BIC model selection);
+//   - the paper's mappable-point discovery, including the inlined-loop
+//     count heuristic;
+//   - a CMP$im-like in-order core with the paper's three-level cache
+//     hierarchy.
+//
+// # Quick start
+//
+//	bench, _ := xbsim.NewBenchmark("gcc", 2_000_000)
+//	input := xbsim.Input{Name: "ref", Seed: 42}
+//	cross, _ := xbsim.CrossBinaryPoints(bench.Binaries, input, xbsim.PointsConfig{})
+//	for i, bin := range bench.Binaries {
+//	    est, _ := xbsim.EstimateCPI(bin, input, cross.ForBinary(i), nil)
+//	    full, _ := xbsim.SimulateFull(bin, input, nil)
+//	    fmt.Printf("%s: est %.3f true %.3f\n", bin.Name, est, full.CPI())
+//	}
+//
+// The experiment harness (RunExperiments / WriteReport) regenerates every
+// table and figure of the paper's evaluation; see EXPERIMENTS.md.
+package xbsim
+
+import (
+	"fmt"
+	"io"
+
+	"xbsim/internal/bbv"
+	"xbsim/internal/callloop"
+	"xbsim/internal/cmpsim"
+	"xbsim/internal/compiler"
+	"xbsim/internal/exec"
+	"xbsim/internal/experiment"
+	"xbsim/internal/mapping"
+	"xbsim/internal/markerstats"
+	"xbsim/internal/pinpoints"
+	"xbsim/internal/profile"
+	"xbsim/internal/program"
+	"xbsim/internal/report"
+	"xbsim/internal/simpoint"
+	"xbsim/internal/trace"
+	"xbsim/internal/validate"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases are the supported public surface.
+type (
+	// Program is a source-level benchmark program.
+	Program = program.Program
+	// Input names a program input; the seed drives all input-dependent
+	// behavior deterministically.
+	Input = program.Input
+	// Target is a compilation configuration (architecture × opt level).
+	Target = compiler.Target
+	// Binary is a compiled program.
+	Binary = compiler.Binary
+	// Profile is a binary's call-and-branch profile.
+	Profile = profile.Profile
+	// MappingResult is the cross-binary mappable point set.
+	MappingResult = mapping.Result
+	// MappingOptions tunes mappable-point discovery.
+	MappingOptions = mapping.Options
+	// Stats is a simulation result (CPI, cache behavior).
+	Stats = cmpsim.Stats
+	// HierarchyConfig describes the simulated memory system.
+	HierarchyConfig = cmpsim.HierarchyConfig
+	// ExperimentConfig parameterizes the paper-evaluation harness.
+	ExperimentConfig = experiment.Config
+	// Suite is a completed paper evaluation.
+	Suite = experiment.Suite
+	// RegionFile is a serializable PinPoints-style region descriptor.
+	RegionFile = pinpoints.File
+)
+
+// IR construction types, for building custom programs by hand instead of
+// using the benchmark generator. A Program built from these must pass
+// (*Program).Validate before compilation.
+type (
+	// Proc is a procedure definition.
+	Proc = program.Proc
+	// Stmt is a procedure-body statement (Compute, Loop, or Call).
+	Stmt = program.Stmt
+	// Compute is a straight-line block of work.
+	Compute = program.Compute
+	// Loop repeats its body an input-dependent number of times.
+	Loop = program.Loop
+	// Call invokes another procedure.
+	Call = program.Call
+	// OpMix is a compute block's abstract operation mix.
+	OpMix = program.OpMix
+	// MemPattern describes a compute block's memory behavior.
+	MemPattern = program.MemPattern
+	// TripSpec determines a loop's iteration counts.
+	TripSpec = program.TripSpec
+)
+
+// Memory access classes for MemPattern.
+const (
+	MemStride = program.MemStride
+	MemRandom = program.MemRandom
+)
+
+// Compilation targets, in the paper's order: 32u, 32o, 64u, 64o.
+var AllTargets = compiler.AllTargets
+
+// Compile lowers a (validated) program for one target.
+func Compile(p *Program, t Target) (*Binary, error) {
+	return compiler.Compile(p, t)
+}
+
+// CompileAll lowers a program for all four paper targets.
+func CompileAll(p *Program) ([]*Binary, error) {
+	return compiler.CompileAll(p)
+}
+
+// Benchmarks returns the names of the synthesizable SPEC2000-like
+// benchmarks (the paper's 21-program subset).
+func Benchmarks() []string { return program.Benchmarks() }
+
+// Table1 returns the paper's memory system configuration.
+func Table1() HierarchyConfig { return cmpsim.DefaultHierarchyConfig() }
+
+// Benchmark bundles a generated program with its four compiled binaries.
+type Benchmark struct {
+	// Program is the generated source program.
+	Program *Program
+	// Binaries holds the four compilations in AllTargets order.
+	Binaries []*Binary
+}
+
+// NewBenchmark synthesizes the named benchmark scaled to roughly targetOps
+// abstract operations (0 = default) and compiles all four targets.
+func NewBenchmark(name string, targetOps uint64) (*Benchmark, error) {
+	prog, err := program.Generate(name, program.GenConfig{TargetOps: targetOps})
+	if err != nil {
+		return nil, err
+	}
+	bins, err := compiler.CompileAll(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &Benchmark{Program: prog, Binaries: bins}, nil
+}
+
+// Binary returns the compilation for the given configuration shorthand
+// ("32u", "32o", "64u", "64o"), or nil.
+func (b *Benchmark) Binary(target string) *Binary {
+	for i, t := range AllTargets {
+		if t.String() == target {
+			return b.Binaries[i]
+		}
+	}
+	return nil
+}
+
+// BBVDataset is an ordered collection of per-interval basic block
+// vectors, ready for clustering or similarity analysis.
+type BBVDataset = bbv.Dataset
+
+// CollectIntervalBBVs profiles the binary into fixed-length-interval
+// basic block vectors, the raw material for custom analyses (similarity
+// matrices, alternative clusterings).
+func CollectIntervalBBVs(bin *Binary, in Input, intervalSize uint64) (*BBVDataset, error) {
+	fc, err := profile.NewFLICollector(bin, intervalSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := exec.Run(bin, in, fc); err != nil {
+		return nil, err
+	}
+	return fc.Finish().Dataset, nil
+}
+
+// CollectProfile runs the binary once and returns its call-and-branch
+// profile (procedure entry counts, loop entry/body counts, debug info).
+func CollectProfile(bin *Binary, in Input) (*Profile, error) {
+	return profile.Collect(bin, in)
+}
+
+// FindMappablePoints profiles every binary and computes the cross-binary
+// mappable point set (paper §3.2.1-§3.2.2, plus the §3.3 inlining
+// heuristic unless disabled).
+func FindMappablePoints(bins []*Binary, in Input, opts MappingOptions) (*MappingResult, error) {
+	profiles := make([]*profile.Profile, len(bins))
+	for i, bin := range bins {
+		p, err := profile.Collect(bin, in)
+		if err != nil {
+			return nil, err
+		}
+		profiles[i] = p
+	}
+	return mapping.Find(profiles, opts)
+}
+
+// PointsConfig tunes simulation point selection.
+type PointsConfig struct {
+	// IntervalSize is the interval size in instructions (FLI size, or VLI
+	// minimum). 0 = 100_000.
+	IntervalSize uint64
+	// MaxK caps the number of phases (0 = 10, the paper's setting).
+	MaxK int
+	// Dim is the projection dimensionality (0 = 15).
+	Dim int
+	// BICThreshold is SimPoint's model selection knob (0 = 0.9).
+	BICThreshold float64
+	// Seed names the random stream (""= "xbsim").
+	Seed string
+	// EarlyTolerance > 0 picks early simulation points: the earliest
+	// interval within (1 + tolerance) of the centroid-closest one.
+	EarlyTolerance float64
+	// Mapping tunes mappable-point discovery (cross-binary only).
+	Mapping MappingOptions
+}
+
+func (c PointsConfig) withDefaults() PointsConfig {
+	if c.IntervalSize == 0 {
+		c.IntervalSize = 100_000
+	}
+	if c.Seed == "" {
+		c.Seed = "xbsim"
+	}
+	return c
+}
+
+func (c PointsConfig) simpointConfig(seed string) simpoint.Config {
+	return simpoint.Config{
+		MaxK: c.MaxK, Dim: c.Dim, BICThreshold: c.BICThreshold, Seed: seed,
+		EarlyTolerance: c.EarlyTolerance,
+	}
+}
+
+// PointSet is a chosen set of simulation regions for one binary, ready to
+// simulate or serialize.
+type PointSet struct {
+	// Binary the regions apply to.
+	Binary *Binary
+	// Flavor is FLI (per-binary) or VLI (cross-binary mapped).
+	Flavor pinpoints.Flavor
+	// K is the number of phases; Weights[p] the phase weights.
+	Weights []float64
+	// PointInterval[p] is the representative interval per phase (-1 when
+	// the phase has no representative).
+	PointInterval []int
+	// PhaseOf labels every interval with its phase.
+	PhaseOf []int
+
+	intervalSize uint64
+	fliEnds      []uint64
+	vliEnds      []profile.Boundary
+}
+
+// NumPoints returns the number of simulation points.
+func (ps *PointSet) NumPoints() int {
+	n := 0
+	for _, iv := range ps.PointInterval {
+		if iv >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// PerBinaryPoints runs classic per-binary SimPoint on the binary: fixed
+// length intervals, BBV clustering, one representative per phase (§2).
+func PerBinaryPoints(bin *Binary, in Input, cfg PointsConfig) (*PointSet, error) {
+	cfg = cfg.withDefaults()
+	fc, err := profile.NewFLICollector(bin, cfg.IntervalSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := exec.Run(bin, in, fc); err != nil {
+		return nil, err
+	}
+	res := fc.Finish()
+	pick, err := simpoint.Pick(res.Dataset, cfg.simpointConfig(cfg.Seed+"/fli/"+bin.Name))
+	if err != nil {
+		return nil, err
+	}
+	return &PointSet{
+		Binary:        bin,
+		Flavor:        pinpoints.FlavorFLI,
+		Weights:       append([]float64(nil), pick.PhaseWeights...),
+		PointInterval: pointIntervals(pick),
+		PhaseOf:       pick.PhaseOf,
+		intervalSize:  cfg.IntervalSize,
+		fliEnds:       res.Ends,
+	}, nil
+}
+
+func pointIntervals(pick *simpoint.Result) []int {
+	out := make([]int, pick.K)
+	for p := range out {
+		out[p] = -1
+	}
+	for _, pt := range pick.Points {
+		out[pt.Phase] = pt.Interval
+	}
+	return out
+}
+
+// CrossPoints is a cross-binary simulation point set: one clustering on
+// the primary binary, mapped to every binary via mappable markers.
+type CrossPoints struct {
+	// Mapping is the mappable point set used for boundaries.
+	Mapping *MappingResult
+	// Primary is the index of the primary binary.
+	Primary int
+
+	input        Input
+	intervalSize uint64
+	pick         *simpoint.Result
+	primaryEnds  []profile.Boundary
+}
+
+// CrossBinaryPoints runs the paper's §3 pipeline over the binaries: find
+// mappable points, break the primary binary (index 0) into variable
+// length intervals at those points, cluster with SimPoint, and prepare
+// the mapped regions for every binary.
+func CrossBinaryPoints(bins []*Binary, in Input, cfg PointsConfig) (*CrossPoints, error) {
+	cfg = cfg.withDefaults()
+	mapped, err := FindMappablePoints(bins, in, cfg.Mapping)
+	if err != nil {
+		return nil, err
+	}
+	const primary = 0
+	vc, err := profile.NewVLICollector(bins[primary], cfg.IntervalSize, mapped.MarkersFor(primary))
+	if err != nil {
+		return nil, err
+	}
+	if err := exec.Run(bins[primary], in, vc); err != nil {
+		return nil, err
+	}
+	res := vc.Finish()
+	pick, err := simpoint.Pick(res.Dataset, cfg.simpointConfig(cfg.Seed+"/vli/"+bins[primary].Program.Name))
+	if err != nil {
+		return nil, err
+	}
+	return &CrossPoints{
+		Mapping:      mapped,
+		Primary:      primary,
+		input:        in,
+		intervalSize: cfg.IntervalSize,
+		pick:         pick,
+		primaryEnds:  res.Ends,
+	}, nil
+}
+
+// K returns the number of phases.
+func (cp *CrossPoints) K() int { return cp.pick.K }
+
+// NumIntervals returns the shared interval count.
+func (cp *CrossPoints) NumIntervals() int { return len(cp.primaryEnds) }
+
+// ForBinary maps the simulation points into binary b's marker space and
+// recalculates the phase weights by counting the instructions each phase
+// executes in that binary (§3.2.5-§3.2.6). The returned PointSet is ready
+// for EstimateCPI.
+func (cp *CrossPoints) ForBinary(b int) (*PointSet, error) {
+	bin := cp.Mapping.Binaries[b]
+	ends, err := cp.Mapping.TranslateEnds(cp.Primary, b, cp.primaryEnds)
+	if err != nil {
+		return nil, err
+	}
+	// Weight recalculation pass: count instructions per interval in this
+	// binary.
+	tr := profile.NewVLITracker(bin, ends, nil)
+	if err := exec.Run(bin, cp.input, tr); err != nil {
+		return nil, err
+	}
+	var total uint64
+	for _, n := range tr.Instructions {
+		total += n
+	}
+	weights := make([]float64, cp.pick.K)
+	for iv, phase := range cp.pick.PhaseOf {
+		weights[phase] += float64(tr.Instructions[iv]) / float64(total)
+	}
+	return &PointSet{
+		Binary:        bin,
+		Flavor:        pinpoints.FlavorVLI,
+		Weights:       weights,
+		PointInterval: pointIntervals(cp.pick),
+		PhaseOf:       cp.pick.PhaseOf,
+		intervalSize:  cp.intervalSize,
+		vliEnds:       ends,
+	}, nil
+}
+
+// SimulateFull runs the binary to completion on the cache simulator and
+// returns the whole-program statistics. hierarchy == nil uses Table 1.
+func SimulateFull(bin *Binary, in Input, hierarchy *HierarchyConfig) (*Stats, error) {
+	sim, err := newSim(bin, hierarchy)
+	if err != nil {
+		return nil, err
+	}
+	if err := exec.Run(bin, in, sim); err != nil {
+		return nil, err
+	}
+	return sim.Stats(), nil
+}
+
+func newSim(bin *Binary, hierarchy *HierarchyConfig) (*cmpsim.Simulator, error) {
+	cfg := cmpsim.DefaultHierarchyConfig()
+	if hierarchy != nil {
+		cfg = *hierarchy
+	}
+	return cmpsim.NewSimulator(bin, cfg)
+}
+
+// SampledEstimate is a whole-program estimate computed as the weighted
+// average of per-simulation-point measurements (the paper's §2.3 step 6,
+// applied to "CPI, miss rate, etc.").
+type SampledEstimate struct {
+	// CPI is the estimated cycles per instruction.
+	CPI float64
+	// L1MissRate is the estimated L1 data miss rate (misses / accesses).
+	L1MissRate float64
+	// DRAMPerKI is the estimated DRAM accesses per 1000 instructions.
+	DRAMPerKI float64
+}
+
+// EstimateCPI simulates only the point set's regions (fast-forwarding
+// with functional cache warming between them, as CMP$im does) and returns
+// the weighted whole-program CPI estimate. hierarchy == nil uses Table 1.
+func EstimateCPI(bin *Binary, in Input, ps *PointSet, hierarchy *HierarchyConfig) (float64, error) {
+	est, err := EstimateStats(bin, in, ps, hierarchy)
+	if err != nil {
+		return 0, err
+	}
+	return est.CPI, nil
+}
+
+// EstimateStats is EstimateCPI generalized to the other whole-program
+// metrics SimPoint users extrapolate: L1 miss rate and DRAM traffic.
+func EstimateStats(bin *Binary, in Input, ps *PointSet, hierarchy *HierarchyConfig) (*SampledEstimate, error) {
+	if ps.Binary != bin {
+		return nil, fmt.Errorf("xbsim: point set belongs to %s, not %s", ps.Binary.Name, bin.Name)
+	}
+	sim, err := newSim(bin, hierarchy)
+	if err != nil {
+		return nil, err
+	}
+	perInterval, err := simulateRegions(bin, in, sim, ps)
+	if err != nil {
+		return nil, err
+	}
+	var est SampledEstimate
+	var wsum float64
+	for p, iv := range ps.PointInterval {
+		if iv < 0 || ps.Weights[p] <= 0 {
+			continue
+		}
+		st, ok := perInterval[iv]
+		if !ok || st.instr == 0 {
+			return nil, fmt.Errorf("xbsim: simulation point interval %d executed nothing", iv)
+		}
+		w := ps.Weights[p]
+		est.CPI += w * float64(st.cycles) / float64(st.instr)
+		if st.accesses > 0 {
+			est.L1MissRate += w * float64(st.l1Misses) / float64(st.accesses)
+		}
+		est.DRAMPerKI += w * float64(st.dram) / float64(st.instr) * 1000
+		wsum += w
+	}
+	if wsum <= 0 {
+		return nil, fmt.Errorf("xbsim: no usable simulation points")
+	}
+	est.CPI /= wsum
+	est.L1MissRate /= wsum
+	est.DRAMPerKI /= wsum
+	return &est, nil
+}
+
+type regionStat struct {
+	instr, cycles      uint64
+	accesses, l1Misses uint64
+	dram               uint64
+}
+
+// regionGate gates the simulator to the chosen intervals and records
+// per-interval deltas.
+type regionGate struct {
+	sim     *cmpsim.Simulator
+	chosen  map[int]bool
+	cur     int
+	last    regionStat
+	regions map[int]regionStat
+}
+
+// Transition implements profile.IntervalSink.
+func (g *regionGate) Transition(i int) {
+	if i == g.cur {
+		return
+	}
+	g.flush()
+	g.cur = i
+	g.sim.SetEnabled(g.chosen[i])
+}
+
+func (g *regionGate) flush() {
+	st := g.sim.Stats()
+	now := regionStat{
+		instr:    st.Instructions,
+		cycles:   st.Cycles,
+		accesses: st.Loads + st.Stores,
+		l1Misses: st.LevelMisses[0],
+		dram:     st.MemoryAccesses,
+	}
+	if g.chosen[g.cur] {
+		r := g.regions[g.cur]
+		r.instr += now.instr - g.last.instr
+		r.cycles += now.cycles - g.last.cycles
+		r.accesses += now.accesses - g.last.accesses
+		r.l1Misses += now.l1Misses - g.last.l1Misses
+		r.dram += now.dram - g.last.dram
+		g.regions[g.cur] = r
+	}
+	g.last = now
+}
+
+func simulateRegions(bin *Binary, in Input, sim *cmpsim.Simulator, ps *PointSet) (map[int]regionStat, error) {
+	chosen := map[int]bool{}
+	for _, iv := range ps.PointInterval {
+		if iv >= 0 {
+			chosen[iv] = true
+		}
+	}
+	gate := &regionGate{sim: sim, chosen: chosen, regions: map[int]regionStat{}}
+	sim.SetEnabled(chosen[0])
+	var tracker exec.Visitor
+	switch ps.Flavor {
+	case pinpoints.FlavorFLI:
+		tracker = profile.NewFLITracker(bin, ps.fliEnds, gate)
+	case pinpoints.FlavorVLI:
+		tracker = profile.NewVLITracker(bin, ps.vliEnds, gate)
+	default:
+		return nil, fmt.Errorf("xbsim: unknown flavor %q", ps.Flavor)
+	}
+	if err := exec.Run(bin, in, exec.Multi{sim, tracker}); err != nil {
+		return nil, err
+	}
+	gate.flush()
+	return gate.regions, nil
+}
+
+// RegionFile serializes the point set in PinPoints style for hand-off to
+// external simulators.
+func (ps *PointSet) RegionFile(in Input) (*RegionFile, error) {
+	f := &RegionFile{
+		Program:      ps.Binary.Program.Name,
+		Binary:       ps.Binary.Name,
+		Input:        in.Name,
+		Flavor:       ps.Flavor,
+		IntervalSize: ps.intervalSize,
+	}
+	for p, iv := range ps.PointInterval {
+		if iv < 0 {
+			continue
+		}
+		r := pinpoints.Region{Phase: p, Weight: ps.Weights[p], Interval: iv}
+		switch ps.Flavor {
+		case pinpoints.FlavorFLI:
+			if iv > 0 {
+				r.StartInstr = ps.fliEnds[iv-1]
+			}
+			r.EndInstr = ps.fliEnds[iv]
+		case pinpoints.FlavorVLI:
+			start := profile.BoundaryStart
+			if iv > 0 {
+				start = ps.vliEnds[iv-1]
+			}
+			r.Start = pinpoints.FromProfileBoundary(start)
+			r.End = pinpoints.FromProfileBoundary(ps.vliEnds[iv])
+		}
+		f.Regions = append(f.Regions, r)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Analysis and tooling types.
+type (
+	// Visitor observes a binary's dynamic execution (see exec.Visitor).
+	Visitor = exec.Visitor
+	// CoreConfig models the simulated in-order core.
+	CoreConfig = cmpsim.CoreConfig
+	// MarkerStat summarizes one marker's firing periodicity.
+	MarkerStat = markerstats.Stat
+	// CallLoopGraph is the annotated call-loop structure of a program.
+	CallLoopGraph = callloop.Graph
+	// ValidationReport lists the cross-binary invariant checks.
+	ValidationReport = validate.Report
+	// TraceHeader describes a stored execution trace.
+	TraceHeader = trace.Header
+)
+
+// DefaultCore returns the paper's core configuration (single-issue,
+// 2-cycle FP, buffered stores).
+func DefaultCore() CoreConfig { return cmpsim.DefaultCoreConfig() }
+
+// SimulateFullWithCore is SimulateFull with an explicit core model, for
+// design-space studies that vary the core. hierarchy == nil uses Table 1.
+func SimulateFullWithCore(bin *Binary, in Input, hierarchy *HierarchyConfig, core CoreConfig) (*Stats, error) {
+	cfg := cmpsim.DefaultHierarchyConfig()
+	if hierarchy != nil {
+		cfg = *hierarchy
+	}
+	sim, err := cmpsim.NewSimulatorWithCore(bin, cfg, core)
+	if err != nil {
+		return nil, err
+	}
+	if err := exec.Run(bin, in, sim); err != nil {
+		return nil, err
+	}
+	return sim.Stats(), nil
+}
+
+// CollectMarkerStats gathers per-marker firing-gap statistics (mean gap,
+// coefficient of variation) — the phase-marker periodicity analysis.
+func CollectMarkerStats(bin *Binary, in Input) ([]MarkerStat, error) {
+	return markerstats.Collect(bin, in)
+}
+
+// RankMarkers orders marker statistics by suitability as interval
+// boundaries for the target size.
+func RankMarkers(stats []MarkerStat, targetSize uint64) []MarkerStat {
+	return markerstats.RankForInterval(stats, targetSize)
+}
+
+// BuildCallLoopGraph builds the annotated call-loop graph of the binary's
+// program (use an unoptimized binary: its structure is complete).
+func BuildCallLoopGraph(bin *Binary, in Input) (*CallLoopGraph, error) {
+	return callloop.Build(bin, in)
+}
+
+// Verify checks the cross-binary invariants (determinism, count equality,
+// interval coverage) hold for this workload before trusting sampled
+// numbers from it.
+func Verify(bins []*Binary, in Input, intervalSize uint64) (*ValidationReport, error) {
+	return validate.CrossBinary(bins, in, intervalSize)
+}
+
+// RecordTrace executes the binary and writes its block/marker event trace
+// in the compact xbsim trace format.
+func RecordTrace(w io.Writer, bin *Binary, in Input) error {
+	return trace.Record(w, bin, in)
+}
+
+// ReplayTrace streams a recorded trace into the visitor, a drop-in
+// substitute for live execution.
+func ReplayTrace(r io.Reader, bin *Binary, v Visitor) (*TraceHeader, error) {
+	return trace.Replay(r, bin, v)
+}
+
+// QuickExperimentConfig returns the reduced five-benchmark evaluation
+// configuration; FullExperimentConfig the paper-shaped 21-benchmark one.
+func QuickExperimentConfig() ExperimentConfig { return experiment.QuickConfig() }
+
+// FullExperimentConfig returns the paper-shaped configuration: all 21
+// benchmarks, four binaries each.
+func FullExperimentConfig() ExperimentConfig { return experiment.FullConfig() }
+
+// RunExperiments executes the paper evaluation for the configuration.
+func RunExperiments(cfg ExperimentConfig) (*Suite, error) {
+	return experiment.Run(cfg)
+}
+
+// WriteReport renders Table 1, Figures 1-5, and the Table 2/3 phase
+// comparisons for the suite.
+func WriteReport(w io.Writer, s *Suite) error {
+	return report.Suite(w, s)
+}
