@@ -12,9 +12,16 @@
 //	xbsim simulate  -bench gcc -target 32u
 //	xbsim estimate  -bench gcc -flavor vli
 //	xbsim figures   [-quick] [-benchmarks gcc,apsi] [-only fig4]
+//	xbsim -v -trace-out trace.json figures -quick
+//
+// Global flags (before the command) enable observability: -v streams
+// per-stage progress to stderr, -trace-out writes a Chrome trace_event
+// JSON of every pipeline stage, -metrics-out dumps the metrics registry.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +35,7 @@ import (
 	"xbsim/internal/callloop"
 	"xbsim/internal/experiment"
 	"xbsim/internal/markerstats"
+	"xbsim/internal/obs"
 	"xbsim/internal/report"
 	"xbsim/internal/trace"
 	"xbsim/internal/validate"
@@ -35,41 +43,160 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	gfs := flag.NewFlagSet("xbsim", flag.ContinueOnError)
+	gfs.SetOutput(os.Stderr)
+	gfs.Usage = usage
+	verbose := gfs.Bool("v", false, "stream per-stage progress to stderr")
+	traceOut := gfs.String("trace-out", "", "write a Chrome trace_event JSON file of the run")
+	metricsOut := gfs.String("metrics-out", "", "write a metrics snapshot to this file ('-' = stderr)")
+	if err := gfs.Parse(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		os.Exit(2)
+	}
+	args := gfs.Args()
+	if len(args) == 0 {
 		usage()
 		os.Exit(2)
 	}
-	if err := run(os.Args[1], os.Args[2:], os.Stdout); err != nil {
-		if err == errUnknownCommand {
-			fmt.Fprintf(os.Stderr, "xbsim: unknown command %q\n", os.Args[1])
-			usage()
-			os.Exit(2)
+
+	ctx := context.Background()
+	var o *obs.Observer
+	if *verbose || *traceOut != "" || *metricsOut != "" {
+		o = obs.New()
+		if *verbose {
+			o.Progress = obs.NewProgress(os.Stderr)
 		}
+		ctx = obs.With(ctx, o)
+	}
+
+	err := run(ctx, args[0], args[1:], os.Stdout)
+	if ferr := finishObservability(o, *verbose, *traceOut, *metricsOut); err == nil {
+		err = ferr
+	}
+	exit(err, args[0])
+}
+
+// exit maps an error to the process exit status: nil → 0, -h/--help → 0,
+// command-line mistakes (unknown command, bad flags or arguments) → 2,
+// runtime failures → 1.
+func exit(err error, command string) {
+	var ue usageError
+	switch {
+	case err == nil:
+		return
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(0)
+	case errors.Is(err, errUnknownCommand):
+		fmt.Fprintf(os.Stderr, "xbsim: unknown command %q\n", command)
+		usage()
+		os.Exit(2)
+	case errors.As(err, &ue):
+		fmt.Fprintln(os.Stderr, "xbsim:", err)
+		os.Exit(2)
+	default:
 		fmt.Fprintln(os.Stderr, "xbsim:", err)
 		os.Exit(1)
 	}
 }
 
+// finishObservability flushes the trace and metrics sinks after the
+// command ran. With -v the stage-timing tree is printed to stderr too.
+func finishObservability(o *obs.Observer, verbose bool, traceOut, metricsOut string) error {
+	if o == nil {
+		return nil
+	}
+	if verbose {
+		if err := o.Tracer.WriteTree(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := o.Tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if metricsOut != "" {
+		if metricsOut == "-" {
+			return o.Metrics.WriteText(os.Stderr)
+		}
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := o.Metrics.WriteText(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}
+
 // errUnknownCommand reports an unrecognized subcommand.
 var errUnknownCommand = fmt.Errorf("unknown command")
 
-// run dispatches a subcommand, writing its output to w.
-func run(command string, args []string, w io.Writer) error {
+// usageError marks a command-line mistake (bad flag or argument), which
+// exits with status 2, distinct from runtime failures (status 1).
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+// usagef builds a usageError from a format string.
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+// newFlagSet returns a subcommand flag set that reports parse errors
+// instead of exiting, so run() callers (main, tests) control the exit.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+// parseFlags parses args, translating failures into usage errors and
+// making -h/--help print the flag defaults and surface flag.ErrHelp.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(os.Stderr)
+			fs.Usage()
+			return flag.ErrHelp
+		}
+		return usageError{err}
+	}
+	return nil
+}
+
+// run dispatches a subcommand, writing its output to w. The context may
+// carry an obs.Observer to record metrics, spans, and progress.
+func run(ctx context.Context, command string, args []string, w io.Writer) error {
 	switch command {
 	case "benchmarks":
 		return cmdBenchmarks(w)
 	case "profile":
-		return cmdProfile(args, w)
+		return cmdProfile(ctx, args, w)
 	case "map":
-		return cmdMap(args, w)
+		return cmdMap(ctx, args, w)
 	case "points":
-		return cmdPoints(args, w)
+		return cmdPoints(ctx, args, w)
 	case "simulate":
-		return cmdSimulate(args, w)
+		return cmdSimulate(ctx, args, w)
 	case "estimate":
-		return cmdEstimate(args, w)
+		return cmdEstimate(ctx, args, w)
 	case "figures", "experiment":
-		return cmdFigures(args, w)
+		return cmdFigures(ctx, args, w)
 	case "ablations":
 		return cmdAblations(args, w)
 	case "markers":
@@ -81,7 +208,7 @@ func run(command string, args []string, w io.Writer) error {
 	case "callgraph":
 		return cmdCallgraph(args, w)
 	case "phases":
-		return cmdPhases(args, w)
+		return cmdPhases(ctx, args, w)
 	case "similarity":
 		return cmdSimilarity(args, w)
 	case "help", "-h", "--help":
@@ -138,7 +265,7 @@ func cmdBenchmarks(w io.Writer) error {
 
 func buildBenchmark(name string, ops uint64) (*xbsim.Benchmark, error) {
 	if name == "" {
-		return nil, fmt.Errorf("-bench is required")
+		return nil, usagef("-bench is required")
 	}
 	return xbsim.NewBenchmark(name, ops)
 }
@@ -146,17 +273,17 @@ func buildBenchmark(name string, ops uint64) (*xbsim.Benchmark, error) {
 func pickBinary(b *xbsim.Benchmark, target string) (*xbsim.Binary, error) {
 	bin := b.Binary(target)
 	if bin == nil {
-		return nil, fmt.Errorf("unknown target %q (want 32u, 32o, 64u, 64o)", target)
+		return nil, usagef("unknown target %q (want 32u, 32o, 64u, 64o)", target)
 	}
 	return bin, nil
 }
 
-func cmdProfile(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+func cmdProfile(ctx context.Context, args []string, w io.Writer) error {
+	fs := newFlagSet("profile")
 	bench := fs.String("bench", "", "benchmark name")
 	target := fs.String("target", "32u", "binary configuration")
 	ops, _, seed := commonFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	b, err := buildBenchmark(*bench, *ops)
@@ -167,7 +294,7 @@ func cmdProfile(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	p, err := xbsim.CollectProfile(bin, xbsim.Input{Name: "ref", Seed: *seed})
+	p, err := xbsim.CollectProfileCtx(ctx, bin, xbsim.Input{Name: "ref", Seed: *seed})
 	if err != nil {
 		return err
 	}
@@ -185,18 +312,18 @@ func cmdProfile(args []string, w io.Writer) error {
 	return nil
 }
 
-func cmdMap(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("map", flag.ExitOnError)
+func cmdMap(ctx context.Context, args []string, w io.Writer) error {
+	fs := newFlagSet("map")
 	bench := fs.String("bench", "", "benchmark name")
 	ops, _, seed := commonFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	b, err := buildBenchmark(*bench, *ops)
 	if err != nil {
 		return err
 	}
-	m, err := xbsim.FindMappablePoints(b.Binaries, xbsim.Input{Name: "ref", Seed: *seed}, xbsim.MappingOptions{})
+	m, err := xbsim.FindMappablePointsCtx(ctx, b.Binaries, xbsim.Input{Name: "ref", Seed: *seed}, xbsim.MappingOptions{})
 	if err != nil {
 		return err
 	}
@@ -222,14 +349,14 @@ func cmdMap(args []string, w io.Writer) error {
 	return nil
 }
 
-func cmdPoints(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("points", flag.ExitOnError)
+func cmdPoints(ctx context.Context, args []string, w io.Writer) error {
+	fs := newFlagSet("points")
 	bench := fs.String("bench", "", "benchmark name")
 	target := fs.String("target", "32u", "binary configuration")
 	flavor := fs.String("flavor", "vli", "fli (per-binary) or vli (cross-binary)")
 	out := fs.String("o", "", "write PinPoints-style JSON here (default stdout)")
 	ops, interval, seed := commonFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	b, err := buildBenchmark(*bench, *ops)
@@ -246,10 +373,10 @@ func cmdPoints(args []string, w io.Writer) error {
 	var ps *xbsim.PointSet
 	switch *flavor {
 	case "fli":
-		ps, err = xbsim.PerBinaryPoints(bin, in, cfg)
+		ps, err = xbsim.PerBinaryPointsCtx(ctx, bin, in, cfg)
 	case "vli":
 		var cross *xbsim.CrossPoints
-		cross, err = xbsim.CrossBinaryPoints(b.Binaries, in, cfg)
+		cross, err = xbsim.CrossBinaryPointsCtx(ctx, b.Binaries, in, cfg)
 		if err == nil {
 			for bi, bb := range b.Binaries {
 				if bb == bin {
@@ -258,7 +385,7 @@ func cmdPoints(args []string, w io.Writer) error {
 			}
 		}
 	default:
-		return fmt.Errorf("unknown flavor %q", *flavor)
+		return usagef("unknown flavor %q", *flavor)
 	}
 	if err != nil {
 		return err
@@ -277,12 +404,12 @@ func cmdPoints(args []string, w io.Writer) error {
 	return f.Write(w)
 }
 
-func cmdSimulate(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+func cmdSimulate(ctx context.Context, args []string, w io.Writer) error {
+	fs := newFlagSet("simulate")
 	bench := fs.String("bench", "", "benchmark name")
 	target := fs.String("target", "32u", "binary configuration")
 	ops, _, seed := commonFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	b, err := buildBenchmark(*bench, *ops)
@@ -293,7 +420,7 @@ func cmdSimulate(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	st, err := xbsim.SimulateFull(bin, xbsim.Input{Name: "ref", Seed: *seed}, nil)
+	st, err := xbsim.SimulateFullCtx(ctx, bin, xbsim.Input{Name: "ref", Seed: *seed}, nil)
 	if err != nil {
 		return err
 	}
@@ -308,12 +435,12 @@ func cmdSimulate(args []string, w io.Writer) error {
 	return nil
 }
 
-func cmdEstimate(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+func cmdEstimate(ctx context.Context, args []string, w io.Writer) error {
+	fs := newFlagSet("estimate")
 	bench := fs.String("bench", "", "benchmark name")
 	flavor := fs.String("flavor", "vli", "fli or vli")
 	ops, interval, seed := commonFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	b, err := buildBenchmark(*bench, *ops)
@@ -325,12 +452,12 @@ func cmdEstimate(args []string, w io.Writer) error {
 
 	var cross *xbsim.CrossPoints
 	if *flavor == "vli" {
-		cross, err = xbsim.CrossBinaryPoints(b.Binaries, in, cfg)
+		cross, err = xbsim.CrossBinaryPointsCtx(ctx, b.Binaries, in, cfg)
 		if err != nil {
 			return err
 		}
 	} else if *flavor != "fli" {
-		return fmt.Errorf("unknown flavor %q", *flavor)
+		return usagef("unknown flavor %q", *flavor)
 	}
 	fmt.Fprintf(w, "%-10s %12s %10s %10s %8s\n", "binary", "instructions", "true CPI", "est CPI", "error")
 	for bi, bin := range b.Binaries {
@@ -338,16 +465,16 @@ func cmdEstimate(args []string, w io.Writer) error {
 		if cross != nil {
 			ps, err = cross.ForBinary(bi)
 		} else {
-			ps, err = xbsim.PerBinaryPoints(bin, in, cfg)
+			ps, err = xbsim.PerBinaryPointsCtx(ctx, bin, in, cfg)
 		}
 		if err != nil {
 			return err
 		}
-		est, err := xbsim.EstimateCPI(bin, in, ps, nil)
+		est, err := xbsim.EstimateCPICtx(ctx, bin, in, ps, nil)
 		if err != nil {
 			return err
 		}
-		full, err := xbsim.SimulateFull(bin, in, nil)
+		full, err := xbsim.SimulateFullCtx(ctx, bin, in, nil)
 		if err != nil {
 			return err
 		}
@@ -358,14 +485,14 @@ func cmdEstimate(args []string, w io.Writer) error {
 	return nil
 }
 
-func cmdFigures(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("figures", flag.ExitOnError)
+func cmdFigures(ctx context.Context, args []string, w io.Writer) error {
+	fs := newFlagSet("figures")
 	quick := fs.Bool("quick", false, "use the reduced five-benchmark configuration")
 	benchList := fs.String("benchmarks", "", "comma-separated benchmark subset")
 	only := fs.String("only", "", "emit a single artifact: table1, fig1..fig5, table2, table3")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of the ASCII report")
 	detail := fs.Bool("detail", false, "emit per-benchmark detail (per-binary tables, speedups, phase timeline)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	cfg := xbsim.FullExperimentConfig()
@@ -378,13 +505,13 @@ func cmdFigures(args []string, w io.Writer) error {
 	if *only == "table1" {
 		return report.Table1(w, cfg.Hierarchy)
 	}
-	suite, err := xbsim.RunExperiments(cfg)
+	suite, err := xbsim.RunExperimentsCtx(ctx, cfg)
 	if err != nil {
 		return err
 	}
 	if *asJSON {
 		if *only != "" {
-			return fmt.Errorf("-json emits the whole suite; drop -only")
+			return usagef("-json emits the whole suite; drop -only")
 		}
 		return suite.WriteJSON(w)
 	}
@@ -393,7 +520,7 @@ func cmdFigures(args []string, w io.Writer) error {
 	}
 	switch *only {
 	case "":
-		return xbsim.WriteReport(w, suite)
+		return xbsim.WriteReportCtx(ctx, w, suite)
 	case "fig1", "fig2", "fig3", "fig4", "fig5":
 		for _, f := range suite.Figures() {
 			if f.ID == *only {
@@ -414,16 +541,16 @@ func cmdFigures(args []string, w io.Writer) error {
 		}
 		return report.PhaseBias(w, tables)
 	default:
-		return fmt.Errorf("unknown artifact %q", *only)
+		return usagef("unknown artifact %q", *only)
 	}
 }
 
 // cmdAblations runs the design-choice ablation studies (DESIGN.md §5).
 func cmdAblations(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("ablations", flag.ExitOnError)
+	fs := newFlagSet("ablations")
 	benchList := fs.String("benchmarks", "swim,crafty,applu", "comma-separated benchmark subset")
 	only := fs.String("only", "", "run one study: bic, dim, markers, inline, primary, warming, early")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	cfg := xbsim.QuickExperimentConfig()
@@ -470,7 +597,7 @@ func cmdAblations(args []string, w io.Writer) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown ablation %q", *only)
+		return usagef("unknown ablation %q", *only)
 	}
 	return nil
 }
@@ -478,12 +605,12 @@ func cmdAblations(args []string, w io.Writer) error {
 // cmdMarkers ranks the binary's markers as phase-marker candidates by
 // firing-gap regularity (Lau et al. CGO 2006 style analysis).
 func cmdMarkers(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("markers", flag.ExitOnError)
+	fs := newFlagSet("markers")
 	bench := fs.String("bench", "", "benchmark name")
 	target := fs.String("target", "32u", "binary configuration")
 	top := fs.Int("top", 15, "show the N best candidates")
 	ops, interval, seed := commonFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	b, err := buildBenchmark(*bench, *ops)
@@ -517,13 +644,13 @@ func cmdMarkers(args []string, w io.Writer) error {
 
 // cmdTrace records an execution trace to a file, or inspects one.
 func cmdTrace(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	fs := newFlagSet("trace")
 	bench := fs.String("bench", "", "benchmark name")
 	target := fs.String("target", "32u", "binary configuration")
 	out := fs.String("o", "", "output trace file")
 	info := fs.String("info", "", "inspect an existing trace file instead of recording")
 	ops, _, seed := commonFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *info != "" {
@@ -541,7 +668,7 @@ func cmdTrace(args []string, w io.Writer) error {
 		return nil
 	}
 	if *out == "" {
-		return fmt.Errorf("-o or -info is required")
+		return usagef("-o or -info is required")
 	}
 	b, err := buildBenchmark(*bench, *ops)
 	if err != nil {
@@ -572,10 +699,10 @@ func cmdTrace(args []string, w io.Writer) error {
 
 // cmdVerify checks the cross-binary invariants for a benchmark.
 func cmdVerify(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	fs := newFlagSet("verify")
 	bench := fs.String("bench", "", "benchmark name")
 	ops, interval, seed := commonFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	b, err := buildBenchmark(*bench, *ops)
@@ -602,12 +729,12 @@ func cmdVerify(args []string, w io.Writer) error {
 
 // cmdCallgraph prints the annotated call-loop graph of one binary.
 func cmdCallgraph(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("callgraph", flag.ExitOnError)
+	fs := newFlagSet("callgraph")
 	bench := fs.String("bench", "", "benchmark name")
 	target := fs.String("target", "32u", "binary configuration")
 	hot := fs.Int("hot", 5, "also list the N hottest loops")
 	ops, _, seed := commonFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	b, err := buildBenchmark(*bench, *ops)
@@ -638,14 +765,14 @@ func cmdCallgraph(args []string, w io.Writer) error {
 }
 
 // cmdPhases prints a phase timeline (the classic SimPoint strip).
-func cmdPhases(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("phases", flag.ExitOnError)
+func cmdPhases(ctx context.Context, args []string, w io.Writer) error {
+	fs := newFlagSet("phases")
 	bench := fs.String("bench", "", "benchmark name")
 	target := fs.String("target", "32u", "binary configuration (fli flavor)")
 	flavor := fs.String("flavor", "vli", "fli or vli")
 	width := fs.Int("width", 72, "strip width in characters")
 	ops, interval, seed := commonFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	b, err := buildBenchmark(*bench, *ops)
@@ -661,12 +788,12 @@ func cmdPhases(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		ps, err = xbsim.PerBinaryPoints(bin, in, cfg)
+		ps, err = xbsim.PerBinaryPointsCtx(ctx, bin, in, cfg)
 		if err != nil {
 			return err
 		}
 	case "vli":
-		cross, err := xbsim.CrossBinaryPoints(b.Binaries, in, cfg)
+		cross, err := xbsim.CrossBinaryPointsCtx(ctx, b.Binaries, in, cfg)
 		if err != nil {
 			return err
 		}
@@ -675,7 +802,7 @@ func cmdPhases(args []string, w io.Writer) error {
 			return err
 		}
 	default:
-		return fmt.Errorf("unknown flavor %q", *flavor)
+		return usagef("unknown flavor %q", *flavor)
 	}
 	fmt.Fprintf(w, "%s (%s):\n", *bench, *flavor)
 	return report.PhaseTimeline(w, ps.PhaseOf, *width)
@@ -684,12 +811,12 @@ func cmdPhases(args []string, w io.Writer) error {
 // cmdSimilarity prints the interval similarity matrix heat map (the
 // Sherwood et al. PACT 2001 visualization that motivated SimPoint).
 func cmdSimilarity(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("similarity", flag.ExitOnError)
+	fs := newFlagSet("similarity")
 	bench := fs.String("bench", "", "benchmark name")
 	target := fs.String("target", "32u", "binary configuration")
 	size := fs.Int("size", 48, "rendered matrix size in characters")
 	ops, interval, seed := commonFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	b, err := buildBenchmark(*bench, *ops)

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"xbsim/internal/obs"
 	"xbsim/internal/pinpoints"
 )
 
@@ -14,7 +17,7 @@ var smallFlags = []string{"-ops", "400000", "-interval", "8000"}
 func runCmd(t *testing.T, command string, args ...string) string {
 	t.Helper()
 	var sb strings.Builder
-	if err := run(command, args, &sb); err != nil {
+	if err := run(context.Background(), command, args, &sb); err != nil {
 		t.Fatalf("%s %v: %v", command, args, err)
 	}
 	return sb.String()
@@ -33,8 +36,60 @@ func TestCmdBenchmarks(t *testing.T) {
 
 func TestCmdUnknown(t *testing.T) {
 	var sb strings.Builder
-	if err := run("bogus", nil, &sb); err != errUnknownCommand {
+	if err := run(context.Background(), "bogus", nil, &sb); err != errUnknownCommand {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// Command-line mistakes must surface as usageError (exit status 2),
+// distinct from runtime failures (exit status 1).
+func TestUsageErrors(t *testing.T) {
+	var sb strings.Builder
+	var ue usageError
+	if err := run(context.Background(), "profile", []string{"-nope"}, &sb); !errors.As(err, &ue) {
+		t.Errorf("undefined flag: err = %v (%T), want usageError", err, err)
+	}
+	if err := run(context.Background(), "profile", smallFlags, &sb); !errors.As(err, &ue) {
+		t.Errorf("missing -bench: err = %v (%T), want usageError", err, err)
+	}
+	if err := run(context.Background(), "points", append([]string{"-bench", "art", "-flavor", "zzz"}, smallFlags...), &sb); !errors.As(err, &ue) {
+		t.Errorf("bad flavor: err = %v (%T), want usageError", err, err)
+	}
+	// Runtime failures (here: an unknown benchmark name) must NOT be
+	// usage errors.
+	if err := run(context.Background(), "profile", append([]string{"-bench", "nope"}, smallFlags...), &sb); err == nil || errors.As(err, &ue) {
+		t.Errorf("unknown benchmark: err = %v (%T), want non-usage error", err, err)
+	}
+}
+
+// An observer threaded through run() must pick up simulator metrics and
+// stage spans from a subcommand.
+func TestCmdSimulateObservability(t *testing.T) {
+	o := obs.New()
+	ctx := obs.With(context.Background(), o)
+	var sb strings.Builder
+	args := append([]string{"-bench", "swim", "-target", "32o"}, smallFlags...)
+	if err := run(ctx, "simulate", args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	snap := o.Metrics.Snapshot()
+	if snap.Counters["sim.instructions"] == 0 {
+		t.Error("sim.instructions not recorded")
+	}
+	if snap.Counters["exec.runs"] == 0 {
+		t.Error("exec.runs not recorded")
+	}
+	names := o.Tracer.StageNames()
+	for _, want := range []string{"stage.full_sim", "exec.run"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("span %q missing from %v", want, names)
+		}
 	}
 }
 
@@ -49,13 +104,13 @@ func TestCmdProfile(t *testing.T) {
 
 func TestCmdProfileErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run("profile", smallFlags, &sb); err == nil {
+	if err := run(context.Background(), "profile", smallFlags, &sb); err == nil {
 		t.Error("missing -bench accepted")
 	}
-	if err := run("profile", append([]string{"-bench", "gzip", "-target", "99"}, smallFlags...), &sb); err == nil {
+	if err := run(context.Background(), "profile", append([]string{"-bench", "gzip", "-target", "99"}, smallFlags...), &sb); err == nil {
 		t.Error("bad target accepted")
 	}
-	if err := run("profile", append([]string{"-bench", "nope"}, smallFlags...), &sb); err == nil {
+	if err := run(context.Background(), "profile", append([]string{"-bench", "nope"}, smallFlags...), &sb); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
@@ -87,7 +142,7 @@ func TestCmdPointsStdoutAndFile(t *testing.T) {
 
 func TestCmdPointsBadFlavor(t *testing.T) {
 	var sb strings.Builder
-	if err := run("points", append([]string{"-bench", "art", "-flavor", "zzz"}, smallFlags...), &sb); err == nil {
+	if err := run(context.Background(), "points", append([]string{"-bench", "art", "-flavor", "zzz"}, smallFlags...), &sb); err == nil {
 		t.Fatal("bad flavor accepted")
 	}
 }
@@ -126,7 +181,7 @@ func TestCmdFiguresQuickSubset(t *testing.T) {
 		t.Fatalf("fig4 output wrong:\n%s", out)
 	}
 	var sb strings.Builder
-	if err := run("figures", []string{"-quick", "-benchmarks", "swim", "-only", "fig9"}, &sb); err == nil {
+	if err := run(context.Background(), "figures", []string{"-quick", "-benchmarks", "swim", "-only", "fig9"}, &sb); err == nil {
 		t.Fatal("unknown artifact accepted")
 	}
 }
@@ -137,7 +192,7 @@ func TestCmdAblationsSingle(t *testing.T) {
 		t.Fatalf("ablation output wrong:\n%s", out)
 	}
 	var sb strings.Builder
-	if err := run("ablations", []string{"-only", "zzz"}, &sb); err == nil {
+	if err := run(context.Background(), "ablations", []string{"-only", "zzz"}, &sb); err == nil {
 		t.Fatal("unknown ablation accepted")
 	}
 }
@@ -163,7 +218,7 @@ func TestCmdTraceRecordAndInfo(t *testing.T) {
 		t.Fatalf("trace info output wrong:\n%s", info)
 	}
 	var sb strings.Builder
-	if err := run("trace", smallFlags, &sb); err == nil {
+	if err := run(context.Background(), "trace", smallFlags, &sb); err == nil {
 		t.Fatal("trace without -o/-info accepted")
 	}
 }
@@ -174,7 +229,7 @@ func TestCmdFiguresJSON(t *testing.T) {
 		t.Fatalf("json output wrong:\n%.200s", out)
 	}
 	var sb strings.Builder
-	if err := run("figures", []string{"-quick", "-benchmarks", "swim", "-json", "-only", "fig1"}, &sb); err == nil {
+	if err := run(context.Background(), "figures", []string{"-quick", "-benchmarks", "swim", "-json", "-only", "fig1"}, &sb); err == nil {
 		t.Fatal("-json with -only accepted")
 	}
 }
@@ -199,7 +254,7 @@ func TestCmdPhases(t *testing.T) {
 		t.Fatalf("phases output wrong:\n%s", out)
 	}
 	var sb strings.Builder
-	if err := run("phases", append([]string{"-bench", "swim", "-flavor", "zzz"}, smallFlags...), &sb); err == nil {
+	if err := run(context.Background(), "phases", append([]string{"-bench", "swim", "-flavor", "zzz"}, smallFlags...), &sb); err == nil {
 		t.Fatal("bad flavor accepted")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"xbsim/internal/compiler"
+	"xbsim/internal/obs"
 	"xbsim/internal/program"
 	"xbsim/internal/xrand"
 )
@@ -220,6 +221,28 @@ func (s *Simulator) TakeStats() Stats {
 // Hierarchy exposes the memory system (for reporting Table 1 and level
 // statistics).
 func (s *Simulator) Hierarchy() *Hierarchy { return s.hier }
+
+// PublishMetrics adds the accumulated statistics to the registry as
+// counters under the given prefix ("sim" → sim.instructions, sim.cycles,
+// sim.cache.l1.hits, ...; full-run walks use "sim", region-gated walks
+// "sim.gated"). Cache levels are numbered outward from the core: l1 is
+// the first-level cache regardless of its display name. A nil registry is
+// a no-op. The metric names are a stable interface (see README.md).
+func (s *Simulator) PublishMetrics(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	st := &s.stats
+	reg.Counter(prefix + ".instructions").Add(st.Instructions)
+	reg.Counter(prefix + ".cycles").Add(st.Cycles)
+	reg.Counter(prefix + ".loads").Add(st.Loads)
+	reg.Counter(prefix + ".stores").Add(st.Stores)
+	reg.Counter(prefix + ".dram_accesses").Add(st.MemoryAccesses)
+	for i := range st.LevelHits {
+		reg.Counter(fmt.Sprintf("%s.cache.l%d.hits", prefix, i+1)).Add(st.LevelHits[i])
+		reg.Counter(fmt.Sprintf("%s.cache.l%d.misses", prefix, i+1)).Add(st.LevelMisses[i])
+	}
+}
 
 // OnBlock implements exec.Visitor: charge the block's instructions and
 // simulate its data accesses. While disabled, accesses still update cache

@@ -13,9 +13,11 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"xbsim/internal/compiler"
+	"xbsim/internal/obs"
 	"xbsim/internal/program"
 	"xbsim/internal/xrand"
 )
@@ -127,6 +129,41 @@ func Run(bin *compiler.Binary, in program.Input, v Visitor) error {
 	}
 	return r.Run(v)
 }
+
+// RunCtx is Run with observability: when the context carries an observer
+// it wraps the execution in an "exec.run" span and flushes aggregate
+// instruction/block/marker tallies into the metrics registry afterwards.
+// Without an observer it is exactly Run — the hot loop is never
+// instrumented per event, so the default path costs nothing.
+func RunCtx(ctx context.Context, bin *compiler.Binary, in program.Input, v Visitor) error {
+	o := obs.From(ctx)
+	if o == nil {
+		return Run(bin, in, v)
+	}
+	_, span := obs.StartSpan(ctx, "exec.run")
+	span.Annotate(bin.Name)
+	defer span.End()
+	if o.Metrics == nil {
+		return Run(bin, in, v)
+	}
+	ic := NewInstructionCounter(bin)
+	var markers markerTally
+	err := Run(bin, in, Multi{v, ic, &markers})
+	o.Counter("exec.runs").Inc()
+	o.Counter("exec.instructions").Add(ic.Instructions)
+	o.Counter("exec.blocks").Add(ic.BlockExecs)
+	o.Counter("exec.markers").Add(uint64(markers))
+	return err
+}
+
+// markerTally counts marker firings with no per-block work.
+type markerTally uint64
+
+// OnBlock implements Visitor.
+func (t *markerTally) OnBlock(int) {}
+
+// OnMarker implements Visitor.
+func (t *markerTally) OnMarker(int) { *t++ }
 
 func (r *Runner) runBody(b *compiler.LBody, v Visitor) {
 	if b.EntryBlock >= 0 {

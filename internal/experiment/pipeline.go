@@ -1,14 +1,17 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"xbsim/internal/cmpsim"
 	"xbsim/internal/compiler"
 	"xbsim/internal/exec"
 	"xbsim/internal/mapping"
+	"xbsim/internal/obs"
 	"xbsim/internal/profile"
 	"xbsim/internal/program"
 	"xbsim/internal/simpoint"
@@ -78,15 +81,35 @@ type BenchmarkResult struct {
 
 // RunBenchmark executes the full pipeline for one benchmark.
 func RunBenchmark(name string, cfg Config) (*BenchmarkResult, error) {
+	return RunBenchmarkCtx(context.Background(), name, cfg)
+}
+
+// RunBenchmarkCtx is RunBenchmark with observability. When the context
+// carries an obs.Observer, every pipeline stage is recorded as a span
+// under a per-benchmark root (compile → profile → mapping → VLI slicing →
+// projection → clustering → full/gated simulation → weighting), stage
+// progress is reported per binary, and the metrics registry accumulates
+// interval, marker, clustering, and simulator counters. Without an
+// observer it behaves — and costs — exactly like RunBenchmark.
+func RunBenchmarkCtx(ctx context.Context, name string, cfg Config) (*BenchmarkResult, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
+	o := obs.From(ctx)
+	ctx, bspan := obs.StartSpan(ctx, "benchmark")
+	bspan.Annotate(name)
+	defer bspan.End()
+
+	o.Report(obs.Event{Benchmark: name, Stage: "compile"})
+	_, cspan := obs.StartSpan(ctx, "stage.compile")
+	cspan.Annotate(name)
 	prog, err := program.Generate(name, program.GenConfig{TargetOps: cfg.TargetOps})
 	if err != nil {
 		return nil, err
 	}
 	bins, err := compiler.CompileAll(prog)
+	cspan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -94,46 +117,57 @@ func RunBenchmark(name string, cfg Config) (*BenchmarkResult, error) {
 	// Walk 1 per binary: call/branch profile + FLI BBVs + totals.
 	profiles := make([]*profile.Profile, len(bins))
 	fliRes := make([]*profile.FLIResult, len(bins))
+	pctx, pspan := obs.StartSpan(ctx, "stage.profile")
 	for bi, bin := range bins {
+		o.Report(obs.Event{Benchmark: name, Binary: bin.Name, Stage: "profile"})
 		ic := exec.NewInstructionCounter(bin)
 		mc := exec.NewMarkerCounter(bin)
 		fc, err := profile.NewFLICollector(bin, cfg.IntervalSize)
 		if err != nil {
 			return nil, err
 		}
-		if err := exec.Run(bin, cfg.Input, exec.Multi{ic, mc, fc}); err != nil {
+		if err := exec.RunCtx(pctx, bin, cfg.Input, exec.Multi{ic, mc, fc}); err != nil {
 			return nil, err
 		}
 		fliRes[bi] = fc.Finish()
+		o.Counter("pipeline.intervals.fli").Add(uint64(len(fliRes[bi].Ends)))
 		profiles[bi], err = profile.BuildProfile(bin, cfg.Input, ic.Instructions, mc.Counts)
 		if err != nil {
 			return nil, err
 		}
 	}
+	pspan.End()
 
 	// Mappable points across all binaries.
-	mapped, err := mapping.Find(profiles, cfg.Mapping)
+	o.Report(obs.Event{Benchmark: name, Stage: "mapping"})
+	mapped, err := mapping.FindCtx(ctx, profiles, cfg.Mapping)
 	if err != nil {
 		return nil, err
 	}
 
 	// Walk 2 (primary only): VLI BBV collection at mappable markers.
+	o.Report(obs.Event{Benchmark: name, Stage: "vli slicing"})
 	primary := cfg.Primary
+	vctx, vspan := obs.StartSpan(ctx, "stage.vli_slicing")
+	vspan.Annotate(bins[primary].Name)
 	vc, err := profile.NewVLICollector(bins[primary], cfg.IntervalSize, mapped.MarkersFor(primary))
 	if err != nil {
 		return nil, err
 	}
-	if err := exec.Run(bins[primary], cfg.Input, vc); err != nil {
+	if err := exec.RunCtx(vctx, bins[primary], cfg.Input, vc); err != nil {
 		return nil, err
 	}
 	vliRes := vc.Finish()
+	vspan.End()
+	o.Counter("pipeline.intervals.vli").Add(uint64(len(vliRes.Ends)))
 
 	// SimPoint: per-binary FLI (independent runs, independently seeded —
 	// exactly what an engineer running SimPoint per binary would do), and
 	// one VLI run on the primary.
+	o.Report(obs.Event{Benchmark: name, Stage: "clustering"})
 	fliPicks := make([]*simpoint.Result, len(bins))
 	for bi := range bins {
-		fliPicks[bi], err = simpoint.Pick(fliRes[bi].Dataset, simpoint.Config{
+		fliPicks[bi], err = simpoint.PickCtx(ctx, fliRes[bi].Dataset, simpoint.Config{
 			MaxK: cfg.MaxK, Dim: cfg.Dim, BICThreshold: cfg.BICThreshold,
 			Restarts: cfg.Restarts, EarlyTolerance: cfg.EarlyTolerance,
 			Seed: fmt.Sprintf("%s/fli/%s", cfg.Seed, bins[bi].Name),
@@ -142,7 +176,7 @@ func RunBenchmark(name string, cfg Config) (*BenchmarkResult, error) {
 			return nil, fmt.Errorf("%s fli simpoint: %w", bins[bi].Name, err)
 		}
 	}
-	vliPick, err := simpoint.Pick(vliRes.Dataset, simpoint.Config{
+	vliPick, err := simpoint.PickCtx(ctx, vliRes.Dataset, simpoint.Config{
 		MaxK: cfg.MaxK, Dim: cfg.Dim, BICThreshold: cfg.BICThreshold,
 		Restarts: cfg.Restarts, EarlyTolerance: cfg.EarlyTolerance,
 		Seed: fmt.Sprintf("%s/vli/%s", cfg.Seed, prog.Name),
@@ -153,21 +187,23 @@ func RunBenchmark(name string, cfg Config) (*BenchmarkResult, error) {
 
 	res := &BenchmarkResult{Name: name, Mapping: mapped, Primary: primary}
 	for bi, bin := range bins {
-		run, err := evaluateBinary(cfg, bins, bi, profiles[bi], fliRes[bi], fliPicks[bi], vliRes, vliPick, mapped)
+		run, err := evaluateBinary(ctx, cfg, bins, bi, profiles[bi], fliRes[bi], fliPicks[bi], vliRes, vliPick, mapped)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", bin.Name, err)
 		}
 		res.Runs = append(res.Runs, run)
 	}
+	o.Counter("pipeline.benchmarks_completed").Inc()
 	return res, nil
 }
 
 // evaluateBinary performs walks 3-5 for one binary and assembles its
 // BinaryRun.
-func evaluateBinary(cfg Config, bins []*compiler.Binary, bi int,
+func evaluateBinary(ctx context.Context, cfg Config, bins []*compiler.Binary, bi int,
 	prof *profile.Profile, fli *profile.FLIResult, fliPick *simpoint.Result,
 	vli *profile.VLIResult, vliPick *simpoint.Result, mapped *mapping.Result) (*BinaryRun, error) {
 
+	o := obs.From(ctx)
 	bin := bins[bi]
 	vliEnds, err := mapped.TranslateEnds(cfg.Primary, bi, vli.Ends)
 	if err != nil {
@@ -175,6 +211,9 @@ func evaluateBinary(cfg Config, bins []*compiler.Binary, bi int,
 	}
 
 	// Walk 3: full simulation with both interval attributions.
+	o.Report(obs.Event{Benchmark: bin.Program.Name, Binary: bin.Name, Stage: "full simulation"})
+	fctx, fspan := obs.StartSpan(ctx, "stage.full_sim")
+	fspan.Annotate(bin.Name)
 	fullSim, err := cmpsim.NewSimulator(bin, cfg.Hierarchy)
 	if err != nil {
 		return nil, err
@@ -183,12 +222,16 @@ func evaluateBinary(cfg Config, bins []*compiler.Binary, bi int,
 	vliSnap := newSnapshotter(fullSim, len(vliEnds))
 	fliTr := profile.NewFLITracker(bin, fli.Ends, fliSnap)
 	vliTr := profile.NewVLITracker(bin, vliEnds, vliSnap)
-	if err := exec.Run(bin, cfg.Input, exec.Multi{fullSim, fliTr, vliTr}); err != nil {
+	if err := exec.RunCtx(fctx, bin, cfg.Input, exec.Multi{fullSim, fliTr, vliTr}); err != nil {
 		return nil, err
 	}
 	fliSnap.close()
 	vliSnap.close()
+	fspan.End()
 	trueStats := fullSim.Stats()
+	if o != nil {
+		fullSim.PublishMetrics(o.Metrics, "sim")
+	}
 
 	run := &BinaryRun{
 		Binary:            bin,
@@ -202,22 +245,26 @@ func evaluateBinary(cfg Config, bins []*compiler.Binary, bi int,
 	}
 
 	// Walk 4: FLI region simulation (this binary's own points).
-	fliPointCPI, fliPointIv, err := simulatePoints(cfg, bin, fliPick,
+	o.Report(obs.Event{Benchmark: bin.Program.Name, Binary: bin.Name, Stage: "gated simulation"})
+	fliPointCPI, fliPointIv, err := simulatePoints(ctx, cfg, bin, fliPick,
 		func(sink profile.IntervalSink) exec.Visitor {
 			return profile.NewFLITracker(bin, fli.Ends, sink)
 		})
 	if err != nil {
 		return nil, err
 	}
+	_, wspan := obs.StartSpan(ctx, "stage.weighting")
+	wspan.Annotate(bin.Name)
 	run.FLI, err = buildMethodStats(fliPick, fliSnap, fliPointCPI, fliPointIv,
 		len(fli.Ends), run, nil)
+	wspan.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// Walk 5: VLI region simulation (the shared cross-binary points
 	// located in this binary via translated boundaries).
-	vliPointCPI, vliPointIv, err := simulatePoints(cfg, bin, vliPick,
+	vliPointCPI, vliPointIv, err := simulatePoints(ctx, cfg, bin, vliPick,
 		func(sink profile.IntervalSink) exec.Visitor {
 			return profile.NewVLITracker(bin, vliEnds, sink)
 		})
@@ -226,20 +273,33 @@ func evaluateBinary(cfg Config, bins []*compiler.Binary, bi int,
 	}
 	// VLI weights are recalculated from THIS binary's per-phase
 	// instruction counts (§3.2.6).
+	_, wspan = obs.StartSpan(ctx, "stage.weighting")
+	wspan.Annotate(bin.Name)
 	vliWeights := recalcWeights(vliPick, vliSnap, run.TotalInstructions)
 	run.VLI, err = buildMethodStats(vliPick, vliSnap, vliPointCPI, vliPointIv,
 		len(vliEnds), run, vliWeights)
+	wspan.End()
 	if err != nil {
 		return nil, err
 	}
+	// The recalculated per-binary VLI weights are a reportable invariant:
+	// they must sum to ~1. Gauges hold the most recent binary's weights.
+	for p, w := range run.VLI.PhaseWeights {
+		o.Gauge(fmt.Sprintf("pipeline.vli.phase_weight.p%02d", p)).Set(w)
+	}
+	o.Counter("pipeline.binaries_evaluated").Inc()
 	return run, nil
 }
 
 // simulatePoints runs one region-gated simulation walk and returns, per
 // phase, the measured CPI of its simulation point and the representative
 // interval index.
-func simulatePoints(cfg Config, bin *compiler.Binary, pick *simpoint.Result,
+func simulatePoints(ctx context.Context, cfg Config, bin *compiler.Binary, pick *simpoint.Result,
 	makeTracker func(profile.IntervalSink) exec.Visitor) (cpi []float64, intervals []int, err error) {
+
+	gctx, gspan := obs.StartSpan(ctx, "stage.gated_sim")
+	gspan.Annotate(bin.Name)
+	defer gspan.End()
 
 	sim, err := cmpsim.NewSimulator(bin, cfg.Hierarchy)
 	if err != nil {
@@ -252,10 +312,13 @@ func simulatePoints(cfg Config, bin *compiler.Binary, pick *simpoint.Result,
 	}
 	gate := newGatedSnapshotter(sim, chosen)
 	tracker := makeTracker(gate)
-	if err := exec.Run(bin, cfg.Input, exec.Multi{sim, tracker}); err != nil {
+	if err := exec.RunCtx(gctx, bin, cfg.Input, exec.Multi{sim, tracker}); err != nil {
 		return nil, nil, err
 	}
 	gate.close()
+	if o := obs.From(ctx); o != nil {
+		sim.PublishMetrics(o.Metrics, "sim.gated")
+	}
 
 	cpi = make([]float64, pick.K)
 	intervals = make([]int, pick.K)
@@ -449,13 +512,23 @@ type Suite struct {
 // Run evaluates every configured benchmark, in parallel up to
 // Config.Parallelism.
 func Run(cfg Config) (*Suite, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with observability: benchmark completion progress is
+// reported through the context's observer, and every per-benchmark stage
+// is traced (see RunBenchmarkCtx). Concurrent benchmarks land in separate
+// trace lanes keyed by their root spans.
+func RunCtx(ctx context.Context, cfg Config) (*Suite, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
+	o := obs.From(ctx)
 	suite := &Suite{Config: cfg, Results: make([]*BenchmarkResult, len(cfg.Benchmarks))}
 	sem := make(chan struct{}, cfg.Parallelism)
 	var wg sync.WaitGroup
+	var done atomic.Int64
 	errs := make([]error, len(cfg.Benchmarks))
 	for i, name := range cfg.Benchmarks {
 		wg.Add(1)
@@ -463,12 +536,16 @@ func Run(cfg Config) (*Suite, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			r, err := RunBenchmark(name, cfg)
+			r, err := RunBenchmarkCtx(ctx, name, cfg)
 			if err != nil {
 				errs[i] = fmt.Errorf("%s: %w", name, err)
+				o.Report(obs.Event{Benchmark: name, Stage: "failed",
+					Done: int(done.Add(1)), Total: len(cfg.Benchmarks)})
 				return
 			}
 			suite.Results[i] = r
+			o.Report(obs.Event{Benchmark: name, Stage: "done",
+				Done: int(done.Add(1)), Total: len(cfg.Benchmarks)})
 		}(i, name)
 	}
 	wg.Wait()

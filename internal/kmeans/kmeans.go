@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"xbsim/internal/obs"
 	"xbsim/internal/vecmath"
 	"xbsim/internal/xrand"
 )
@@ -41,6 +42,9 @@ type Config struct {
 	Init InitMethod
 	// Rng supplies all randomness. Required.
 	Rng *xrand.Stream
+	// Obs, when non-nil, receives clustering metrics (restart and Lloyd
+	// iteration counters, iteration histograms). Nil records nothing.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -106,16 +110,24 @@ func Run(points [][]float64, weights []float64, k int, cfg Config) (*Result, err
 	cfg = cfg.withDefaults()
 
 	var best *Result
+	var totalIters uint64
 	for r := 0; r < cfg.Restarts; r++ {
-		res := runOnce(points, weights, k, cfg, cfg.Rng.SplitIndexed("restart", r))
+		res, iters := runOnce(points, weights, k, cfg, cfg.Rng.SplitIndexed("restart", r))
+		totalIters += iters
+		cfg.Obs.Histogram("kmeans.iterations_per_restart").Observe(iters)
 		if best == nil || res.Distortion < best.Distortion {
 			best = res
 		}
 	}
+	cfg.Obs.Counter("kmeans.runs").Inc()
+	cfg.Obs.Counter("kmeans.restarts").Add(uint64(cfg.Restarts))
+	cfg.Obs.Counter("kmeans.iterations").Add(totalIters)
 	return best, nil
 }
 
-func runOnce(points [][]float64, weights []float64, k int, cfg Config, rng *xrand.Stream) *Result {
+// runOnce performs one seeded clustering, returning the result and the
+// number of Lloyd iterations it took.
+func runOnce(points [][]float64, weights []float64, k int, cfg Config, rng *xrand.Stream) (*Result, uint64) {
 	dim := len(points[0])
 	centroids := initCentroids(points, weights, k, cfg.Init, rng)
 	k = len(centroids) // may shrink if fewer distinct points
@@ -124,7 +136,9 @@ func runOnce(points [][]float64, weights []float64, k int, cfg Config, rng *xran
 		assign[i] = -1
 	}
 
+	var iters uint64
 	for iter := 0; iter < cfg.MaxIters; iter++ {
+		iters++
 		changed := assignAll(points, centroids, assign)
 		recomputeCentroids(points, weights, assign, centroids, dim, rng)
 		if !changed && iter > 0 {
@@ -150,7 +164,7 @@ func runOnce(points [][]float64, weights []float64, k int, cfg Config, rng *xran
 		res.ClusterSizes[c]++
 		res.Distortion += w * vecmath.SquaredDistance(points[i], centroids[c])
 	}
-	return res
+	return res, iters
 }
 
 // assignAll assigns each point to its nearest centroid, returning whether

@@ -25,10 +25,12 @@
 package mapping
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"xbsim/internal/compiler"
+	"xbsim/internal/obs"
 	"xbsim/internal/profile"
 )
 
@@ -92,6 +94,16 @@ type Result struct {
 // Find computes the mappable points across the profiled binaries. All
 // profiles must be of binaries of the same program on the same input.
 func Find(profiles []*profile.Profile, opts Options) (*Result, error) {
+	return FindCtx(context.Background(), profiles, opts)
+}
+
+// FindCtx is Find with observability: with an observer on the context it
+// records a "stage.mapping" span and publishes mappable-marker counters
+// (mapping.points, mapping.heuristic_matched, mapping.heuristic_ambiguous,
+// mapping.procs_unmatched).
+func FindCtx(ctx context.Context, profiles []*profile.Profile, opts Options) (*Result, error) {
+	_, span := obs.StartSpan(ctx, "stage.mapping")
+	defer span.End()
 	if len(profiles) < 2 {
 		return nil, fmt.Errorf("mapping: need at least 2 binaries, got %d", len(profiles))
 	}
@@ -120,6 +132,13 @@ func Find(profiles []*profile.Profile, opts Options) (*Result, error) {
 	fillDiagnostics(profiles, r, loopMatched)
 	sortPoints(r)
 	r.buildIndex()
+	if o := obs.From(ctx); o != nil {
+		span.Annotate(profiles[0].Binary.Program.Name)
+		o.Counter("mapping.points").Add(uint64(len(r.Points)))
+		o.Counter("mapping.heuristic_matched").Add(uint64(r.Diag.HeuristicMatched))
+		o.Counter("mapping.heuristic_ambiguous").Add(uint64(r.Diag.HeuristicAmbiguous))
+		o.Counter("mapping.procs_unmatched").Add(uint64(r.Diag.ProcsUnmatched))
+	}
 	return r, nil
 }
 

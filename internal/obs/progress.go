@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event is one coarse progress update from a long-running pipeline.
+type Event struct {
+	// Benchmark is the benchmark being processed.
+	Benchmark string
+	// Binary is the binary within the benchmark ("" for whole-benchmark
+	// stages like mapping).
+	Binary string
+	// Stage is the pipeline stage ("profile", "gated simulation", ...).
+	Stage string
+	// Done and Total, when Total > 0, report suite-level completion
+	// (benchmarks finished out of benchmarks requested).
+	Done, Total int
+}
+
+// Progress renders progress events as lines on a writer, one per event.
+// It is safe for concurrent use; a nil *Progress discards events.
+type Progress struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewProgress returns a reporter writing to w.
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w}
+}
+
+// Report renders one event, e.g.:
+//
+//	xbsim: gcc (32u) gated simulation
+//	xbsim: [3/5] gcc done
+func (p *Progress) Report(ev Event) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch {
+	case ev.Total > 0 && ev.Binary == "":
+		fmt.Fprintf(p.w, "xbsim: [%d/%d] %s %s\n", ev.Done, ev.Total, ev.Benchmark, ev.Stage)
+	case ev.Binary != "":
+		fmt.Fprintf(p.w, "xbsim: %s (%s) %s\n", ev.Benchmark, ev.Binary, ev.Stage)
+	default:
+		fmt.Fprintf(p.w, "xbsim: %s %s\n", ev.Benchmark, ev.Stage)
+	}
+}

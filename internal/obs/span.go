@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer records wall-time spans. Spans form a tree via the context
+// returned by StartSpan; concurrent pipelines (one goroutine per
+// benchmark) may record into one tracer simultaneously. A nil *Tracer
+// records nothing.
+type Tracer struct {
+	mu    sync.Mutex
+	now   func() time.Time
+	epoch time.Time
+	spans []*Span
+}
+
+// NewTracer returns a tracer using the wall clock.
+func NewTracer() *Tracer {
+	return NewTracerWithClock(time.Now)
+}
+
+// NewTracerWithClock returns a tracer reading time from now — injectable
+// for deterministic tests.
+func NewTracerWithClock(now func() time.Time) *Tracer {
+	return &Tracer{now: now, epoch: now()}
+}
+
+// Span is one timed region of the pipeline. End it exactly once; a nil
+// *Span ignores all calls.
+type Span struct {
+	tracer *Tracer
+	parent *Span
+
+	// id is the 1-based span index in the tracer.
+	id int
+	// name identifies the stage ("stage.clustering", "exec.run", ...).
+	name string
+	// detail is an optional free-form annotation (binary name, k, ...).
+	detail string
+	start  time.Time
+	dur    time.Duration
+	ended  bool
+}
+
+// start opens and registers a new span.
+func (t *Tracer) start(name string, parent *Span) *Span {
+	s := &Span{tracer: t, parent: parent, name: name}
+	t.mu.Lock()
+	s.id = len(t.spans) + 1
+	s.start = t.now()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// End closes the span, recording its duration. Safe to call on nil and
+// idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	t.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = t.now().Sub(s.start)
+	}
+	t.mu.Unlock()
+}
+
+// Annotate attaches a free-form detail string (e.g. the binary name).
+func (s *Span) Annotate(detail string) {
+	if s == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	s.detail = detail
+	s.tracer.mu.Unlock()
+}
+
+// SpanView is an exported copy of one recorded span.
+type SpanView struct {
+	// ID is the 1-based span index; Parent is the parent's ID (0 = root).
+	ID, Parent int
+	// Name and Detail identify the span.
+	Name, Detail string
+	// Start is the offset from the tracer's epoch; Dur the span length.
+	Start, Dur time.Duration
+	// Ended reports whether End was called.
+	Ended bool
+}
+
+// Spans returns a copy of every recorded span, in start order. A nil
+// tracer returns nil.
+func (t *Tracer) Spans() []SpanView {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanView, len(t.spans))
+	for i, s := range t.spans {
+		v := SpanView{
+			ID:     s.id,
+			Name:   s.name,
+			Detail: s.detail,
+			Start:  s.start.Sub(t.epoch),
+			Dur:    s.dur,
+			Ended:  s.ended,
+		}
+		if s.parent != nil {
+			v.Parent = s.parent.id
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// chromeEvent is one Chrome trace_event entry ("X" = complete event).
+// Field order is fixed so the JSON output is stable for golden tests.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`
+	Dur  int64             `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace_event JSON object.
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	Unit        string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace emits the recorded spans as Chrome trace_event JSON
+// (load it at chrome://tracing or https://ui.perfetto.dev). Each root
+// span and its subtree share one thread lane, so concurrent benchmarks
+// render as parallel rows. Unended spans are written with their elapsed
+// time so a trace dumped after a failure still loads.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	views := t.Spans()
+	t.mu.Lock()
+	nowDur := t.now().Sub(t.epoch)
+	t.mu.Unlock()
+
+	// Lane per root: a span's tid is its outermost ancestor's ID.
+	lane := make(map[int]int, len(views))
+	for _, v := range views {
+		if v.Parent == 0 {
+			lane[v.ID] = v.ID
+		} else {
+			lane[v.ID] = lane[v.Parent]
+		}
+	}
+	trace := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(views)), Unit: "ms"}
+	for _, v := range views {
+		dur := v.Dur
+		if !v.Ended {
+			dur = nowDur - v.Start
+		}
+		ev := chromeEvent{
+			Name: v.Name,
+			Cat:  "xbsim",
+			Ph:   "X",
+			Ts:   v.Start.Microseconds(),
+			Dur:  dur.Microseconds(),
+			Pid:  1,
+			Tid:  lane[v.ID],
+		}
+		if v.Detail != "" {
+			ev.Args = map[string]string{"detail": v.Detail}
+		}
+		trace.TraceEvents = append(trace.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(trace)
+}
+
+// treeNode aggregates same-named sibling spans for the timing tree.
+type treeNode struct {
+	name     string
+	count    int
+	total    time.Duration
+	details  []string
+	children []int // span IDs folded into this node
+}
+
+// WriteTree renders a human-readable stage-timing tree. Same-named
+// siblings are folded into one line with a count and total duration:
+//
+//	benchmark (gcc)                 812.4ms
+//	  stage.compile                   3.1ms
+//	  stage.profile ×4              210.9ms
+//	    exec.run ×4                 208.2ms
+func (t *Tracer) WriteTree(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	views := t.Spans()
+	if len(views) == 0 {
+		return nil
+	}
+	byParent := map[int][]SpanView{}
+	for _, v := range views {
+		byParent[v.Parent] = append(byParent[v.Parent], v)
+	}
+	if _, err := fmt.Fprintln(w, "stage timings:"); err != nil {
+		return err
+	}
+	return writeLevel(w, byParent, []SpanView{{ID: 0}}, 0)
+}
+
+// writeLevel prints the folded children of the given parent group, then
+// recurses into each fold.
+func writeLevel(w io.Writer, byParent map[int][]SpanView, parents []SpanView, depth int) error {
+	// Collect children of every parent in the group, folding by name.
+	var order []string
+	folds := map[string]*treeNode{}
+	for _, p := range parents {
+		for _, c := range byParent[p.ID] {
+			n := folds[c.Name]
+			if n == nil {
+				n = &treeNode{name: c.Name}
+				folds[c.Name] = n
+				order = append(order, c.Name)
+			}
+			n.count++
+			n.total += c.Dur
+			n.children = append(n.children, c.ID)
+			if c.Detail != "" {
+				n.details = append(n.details, c.Detail)
+			}
+		}
+	}
+	for _, name := range order {
+		n := folds[name]
+		label := n.name
+		switch {
+		case n.count == 1 && len(n.details) == 1:
+			label = fmt.Sprintf("%s (%s)", n.name, n.details[0])
+		case n.count > 1:
+			label = fmt.Sprintf("%s ×%d", n.name, n.count)
+		}
+		if _, err := fmt.Fprintf(w, "  %s%-*s %12s\n",
+			strings.Repeat("  ", depth), 46-2*depth, label, formatDur(n.total)); err != nil {
+			return err
+		}
+		group := make([]SpanView, len(n.children))
+		for i, id := range n.children {
+			group[i] = SpanView{ID: id}
+		}
+		if err := writeLevel(w, byParent, group, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatDur renders a duration with millisecond precision.
+func formatDur(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+}
+
+// StageNames returns the sorted set of distinct span names recorded so
+// far — convenient for asserting stage coverage in tests.
+func (t *Tracer) StageNames() []string {
+	seen := map[string]bool{}
+	for _, v := range t.Spans() {
+		seen[v.Name] = true
+	}
+	return sortedKeys(seen)
+}

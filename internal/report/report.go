@@ -13,6 +13,7 @@ import (
 
 	"xbsim/internal/cmpsim"
 	"xbsim/internal/experiment"
+	"xbsim/internal/obs"
 )
 
 // barWidth is the maximum bar length in characters.
@@ -381,6 +382,32 @@ func Suite(w io.Writer, s *experiment.Suite) error {
 			return err
 		}
 		if err := PhaseBias(w, tables); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Appendix renders the observability appendix — the stage-timing tree and
+// the metrics snapshot recorded while the suite ran. A nil observer writes
+// nothing, so reports are byte-identical when observability is off.
+func Appendix(w io.Writer, o *obs.Observer) error {
+	if o == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "APPENDIX — pipeline observability"); err != nil {
+		return err
+	}
+	if o.Tracer != nil {
+		if err := o.Tracer.WriteTree(w); err != nil {
+			return err
+		}
+	}
+	if o.Metrics != nil {
+		if _, err := fmt.Fprintln(w, "metrics:"); err != nil {
+			return err
+		}
+		if err := o.Metrics.WriteText(w); err != nil {
 			return err
 		}
 	}

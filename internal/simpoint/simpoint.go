@@ -20,12 +20,14 @@
 package simpoint
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"xbsim/internal/bbv"
 	"xbsim/internal/kmeans"
+	"xbsim/internal/obs"
 	"xbsim/internal/vecmath"
 	"xbsim/internal/xrand"
 )
@@ -107,15 +109,30 @@ type Result struct {
 
 // Pick runs the SimPoint pipeline over the dataset.
 func Pick(ds *bbv.Dataset, cfg Config) (*Result, error) {
+	return PickCtx(context.Background(), ds, cfg)
+}
+
+// PickCtx is Pick with observability: when the context carries an
+// observer, the random projection and the per-k clustering sweep are
+// recorded as "stage.projection" and "stage.clustering" spans, and the
+// registry receives BIC scores per k (simpoint.bic.k<N> gauges, last run
+// wins), the chosen k, and k-means iteration counters.
+func PickCtx(ctx context.Context, ds *bbv.Dataset, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if ds == nil || ds.Len() == 0 {
 		return nil, fmt.Errorf("simpoint: empty dataset")
 	}
+	o := obs.From(ctx)
 	rng := xrand.New("simpoint/" + cfg.Seed)
+	_, pspan := obs.StartSpan(ctx, "stage.projection")
+	pspan.Annotate(cfg.Seed)
 	points, err := ds.Project(cfg.Dim, rng.Split("projection"))
+	pspan.End()
 	if err != nil {
 		return nil, fmt.Errorf("simpoint: %w", err)
 	}
+	o.Counter("simpoint.runs").Inc()
+	o.Counter("simpoint.intervals_clustered").Add(uint64(ds.Len()))
 	weights := ds.Weights()
 
 	// Clustering needs substantially more intervals than clusters; with
@@ -135,13 +152,18 @@ func Pick(ds *bbv.Dataset, cfg Config) (*Result, error) {
 
 	if cfg.FixedK > 0 {
 		k := capK(cfg.FixedK)
+		_, cspan := obs.StartSpan(ctx, "stage.clustering")
+		cspan.Annotate(cfg.Seed)
 		res, err := kmeans.Run(points, weights, k, kmeans.Config{
 			Restarts: cfg.Restarts,
 			Rng:      rng.SplitIndexed("kmeans", k),
+			Obs:      o,
 		})
+		cspan.End()
 		if err != nil {
 			return nil, fmt.Errorf("simpoint: fixed k=%d: %w", k, err)
 		}
+		o.Gauge("simpoint.chosen_k").Set(float64(res.K))
 		return buildResult(ds, points, res,
 			[]float64{kmeans.BIC(points, weights, res)}, cfg.EarlyTolerance)
 	}
@@ -149,19 +171,26 @@ func Pick(ds *bbv.Dataset, cfg Config) (*Result, error) {
 	maxK := capK(cfg.MaxK)
 	runs := make([]*kmeans.Result, maxK)
 	bics := make([]float64, maxK)
+	_, cspan := obs.StartSpan(ctx, "stage.clustering")
+	cspan.Annotate(cfg.Seed)
 	for k := 1; k <= maxK; k++ {
 		res, err := kmeans.Run(points, weights, k, kmeans.Config{
 			Restarts: cfg.Restarts,
 			Rng:      rng.SplitIndexed("kmeans", k),
+			Obs:      o,
 		})
 		if err != nil {
+			cspan.End()
 			return nil, fmt.Errorf("simpoint: k=%d: %w", k, err)
 		}
 		runs[k-1] = res
 		bics[k-1] = kmeans.BIC(points, weights, res)
+		o.Gauge(fmt.Sprintf("simpoint.bic.k%02d", k)).Set(bics[k-1])
 	}
+	cspan.End()
 
 	chosen := chooseK(bics, cfg.BICThreshold)
+	o.Gauge("simpoint.chosen_k").Set(float64(chosen))
 	best := runs[chosen-1]
 	return buildResult(ds, points, best, bics, cfg.EarlyTolerance)
 }

@@ -34,6 +34,7 @@
 package xbsim
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -45,6 +46,7 @@ import (
 	"xbsim/internal/experiment"
 	"xbsim/internal/mapping"
 	"xbsim/internal/markerstats"
+	"xbsim/internal/obs"
 	"xbsim/internal/pinpoints"
 	"xbsim/internal/profile"
 	"xbsim/internal/program"
@@ -189,19 +191,35 @@ func CollectProfile(bin *Binary, in Input) (*Profile, error) {
 	return profile.Collect(bin, in)
 }
 
+// CollectProfileCtx is CollectProfile with observability: the profiling
+// execution is recorded through the context's Observer, if any.
+func CollectProfileCtx(ctx context.Context, bin *Binary, in Input) (*Profile, error) {
+	return profile.CollectCtx(ctx, bin, in)
+}
+
 // FindMappablePoints profiles every binary and computes the cross-binary
 // mappable point set (paper §3.2.1-§3.2.2, plus the §3.3 inlining
 // heuristic unless disabled).
 func FindMappablePoints(bins []*Binary, in Input, opts MappingOptions) (*MappingResult, error) {
+	return FindMappablePointsCtx(context.Background(), bins, in, opts)
+}
+
+// FindMappablePointsCtx is FindMappablePoints with observability: when the
+// context carries an Observer (see WithObserver), profiling and matching
+// are traced and mapping counters recorded.
+func FindMappablePointsCtx(ctx context.Context, bins []*Binary, in Input, opts MappingOptions) (*MappingResult, error) {
+	pctx, pspan := obs.StartSpan(ctx, "stage.profile")
 	profiles := make([]*profile.Profile, len(bins))
 	for i, bin := range bins {
-		p, err := profile.Collect(bin, in)
+		p, err := profile.CollectCtx(pctx, bin, in)
 		if err != nil {
+			pspan.End()
 			return nil, err
 		}
 		profiles[i] = p
 	}
-	return mapping.Find(profiles, opts)
+	pspan.End()
+	return mapping.FindCtx(ctx, profiles, opts)
 }
 
 // PointsConfig tunes simulation point selection.
@@ -275,16 +293,26 @@ func (ps *PointSet) NumPoints() int {
 // PerBinaryPoints runs classic per-binary SimPoint on the binary: fixed
 // length intervals, BBV clustering, one representative per phase (§2).
 func PerBinaryPoints(bin *Binary, in Input, cfg PointsConfig) (*PointSet, error) {
+	return PerBinaryPointsCtx(context.Background(), bin, in, cfg)
+}
+
+// PerBinaryPointsCtx is PerBinaryPoints with observability: profiling,
+// projection, and clustering are traced through the context's Observer.
+func PerBinaryPointsCtx(ctx context.Context, bin *Binary, in Input, cfg PointsConfig) (*PointSet, error) {
 	cfg = cfg.withDefaults()
 	fc, err := profile.NewFLICollector(bin, cfg.IntervalSize)
 	if err != nil {
 		return nil, err
 	}
-	if err := exec.Run(bin, in, fc); err != nil {
+	pctx, pspan := obs.StartSpan(ctx, "stage.profile")
+	pspan.Annotate(bin.Name)
+	if err := exec.RunCtx(pctx, bin, in, fc); err != nil {
+		pspan.End()
 		return nil, err
 	}
+	pspan.End()
 	res := fc.Finish()
-	pick, err := simpoint.Pick(res.Dataset, cfg.simpointConfig(cfg.Seed+"/fli/"+bin.Name))
+	pick, err := simpoint.PickCtx(ctx, res.Dataset, cfg.simpointConfig(cfg.Seed+"/fli/"+bin.Name))
 	if err != nil {
 		return nil, err
 	}
@@ -329,8 +357,15 @@ type CrossPoints struct {
 // length intervals at those points, cluster with SimPoint, and prepare
 // the mapped regions for every binary.
 func CrossBinaryPoints(bins []*Binary, in Input, cfg PointsConfig) (*CrossPoints, error) {
+	return CrossBinaryPointsCtx(context.Background(), bins, in, cfg)
+}
+
+// CrossBinaryPointsCtx is CrossBinaryPoints with observability: mapping,
+// VLI slicing, projection, and clustering are traced through the context's
+// Observer, and mapping/interval counters recorded.
+func CrossBinaryPointsCtx(ctx context.Context, bins []*Binary, in Input, cfg PointsConfig) (*CrossPoints, error) {
 	cfg = cfg.withDefaults()
-	mapped, err := FindMappablePoints(bins, in, cfg.Mapping)
+	mapped, err := FindMappablePointsCtx(ctx, bins, in, cfg.Mapping)
 	if err != nil {
 		return nil, err
 	}
@@ -339,11 +374,15 @@ func CrossBinaryPoints(bins []*Binary, in Input, cfg PointsConfig) (*CrossPoints
 	if err != nil {
 		return nil, err
 	}
-	if err := exec.Run(bins[primary], in, vc); err != nil {
+	vctx, vspan := obs.StartSpan(ctx, "stage.vli_slicing")
+	vspan.Annotate(bins[primary].Name)
+	if err := exec.RunCtx(vctx, bins[primary], in, vc); err != nil {
+		vspan.End()
 		return nil, err
 	}
+	vspan.End()
 	res := vc.Finish()
-	pick, err := simpoint.Pick(res.Dataset, cfg.simpointConfig(cfg.Seed+"/vli/"+bins[primary].Program.Name))
+	pick, err := simpoint.PickCtx(ctx, res.Dataset, cfg.simpointConfig(cfg.Seed+"/vli/"+bins[primary].Program.Name))
 	if err != nil {
 		return nil, err
 	}
@@ -401,12 +440,26 @@ func (cp *CrossPoints) ForBinary(b int) (*PointSet, error) {
 // SimulateFull runs the binary to completion on the cache simulator and
 // returns the whole-program statistics. hierarchy == nil uses Table 1.
 func SimulateFull(bin *Binary, in Input, hierarchy *HierarchyConfig) (*Stats, error) {
+	return SimulateFullCtx(context.Background(), bin, in, hierarchy)
+}
+
+// SimulateFullCtx is SimulateFull with observability: the run is recorded
+// as a "stage.full_sim" span and the simulator's statistics are published
+// under the "sim" metric prefix.
+func SimulateFullCtx(ctx context.Context, bin *Binary, in Input, hierarchy *HierarchyConfig) (*Stats, error) {
 	sim, err := newSim(bin, hierarchy)
 	if err != nil {
 		return nil, err
 	}
-	if err := exec.Run(bin, in, sim); err != nil {
+	fctx, fspan := obs.StartSpan(ctx, "stage.full_sim")
+	fspan.Annotate(bin.Name)
+	if err := exec.RunCtx(fctx, bin, in, sim); err != nil {
+		fspan.End()
 		return nil, err
+	}
+	fspan.End()
+	if o := obs.From(ctx); o != nil {
+		sim.PublishMetrics(o.Metrics, "sim")
 	}
 	return sim.Stats(), nil
 }
@@ -442,9 +495,25 @@ func EstimateCPI(bin *Binary, in Input, ps *PointSet, hierarchy *HierarchyConfig
 	return est.CPI, nil
 }
 
+// EstimateCPICtx is EstimateCPI with observability (see EstimateStatsCtx).
+func EstimateCPICtx(ctx context.Context, bin *Binary, in Input, ps *PointSet, hierarchy *HierarchyConfig) (float64, error) {
+	est, err := EstimateStatsCtx(ctx, bin, in, ps, hierarchy)
+	if err != nil {
+		return 0, err
+	}
+	return est.CPI, nil
+}
+
 // EstimateStats is EstimateCPI generalized to the other whole-program
 // metrics SimPoint users extrapolate: L1 miss rate and DRAM traffic.
 func EstimateStats(bin *Binary, in Input, ps *PointSet, hierarchy *HierarchyConfig) (*SampledEstimate, error) {
+	return EstimateStatsCtx(context.Background(), bin, in, ps, hierarchy)
+}
+
+// EstimateStatsCtx is EstimateStats with observability: the region-gated
+// walk is recorded as a "stage.gated_sim" span and the simulator's
+// statistics are published under the "sim.gated" metric prefix.
+func EstimateStatsCtx(ctx context.Context, bin *Binary, in Input, ps *PointSet, hierarchy *HierarchyConfig) (*SampledEstimate, error) {
 	if ps.Binary != bin {
 		return nil, fmt.Errorf("xbsim: point set belongs to %s, not %s", ps.Binary.Name, bin.Name)
 	}
@@ -452,9 +521,15 @@ func EstimateStats(bin *Binary, in Input, ps *PointSet, hierarchy *HierarchyConf
 	if err != nil {
 		return nil, err
 	}
-	perInterval, err := simulateRegions(bin, in, sim, ps)
+	gctx, gspan := obs.StartSpan(ctx, "stage.gated_sim")
+	gspan.Annotate(bin.Name)
+	perInterval, err := simulateRegions(gctx, bin, in, sim, ps)
+	gspan.End()
 	if err != nil {
 		return nil, err
+	}
+	if o := obs.From(ctx); o != nil {
+		sim.PublishMetrics(o.Metrics, "sim.gated")
 	}
 	var est SampledEstimate
 	var wsum float64
@@ -530,7 +605,7 @@ func (g *regionGate) flush() {
 	g.last = now
 }
 
-func simulateRegions(bin *Binary, in Input, sim *cmpsim.Simulator, ps *PointSet) (map[int]regionStat, error) {
+func simulateRegions(ctx context.Context, bin *Binary, in Input, sim *cmpsim.Simulator, ps *PointSet) (map[int]regionStat, error) {
 	chosen := map[int]bool{}
 	for _, iv := range ps.PointInterval {
 		if iv >= 0 {
@@ -548,7 +623,7 @@ func simulateRegions(bin *Binary, in Input, sim *cmpsim.Simulator, ps *PointSet)
 	default:
 		return nil, fmt.Errorf("xbsim: unknown flavor %q", ps.Flavor)
 	}
-	if err := exec.Run(bin, in, exec.Multi{sim, tracker}); err != nil {
+	if err := exec.RunCtx(ctx, bin, in, exec.Multi{sim, tracker}); err != nil {
 		return nil, err
 	}
 	gate.flush()
@@ -679,8 +754,60 @@ func RunExperiments(cfg ExperimentConfig) (*Suite, error) {
 	return experiment.Run(cfg)
 }
 
+// RunExperimentsCtx is RunExperiments with observability: when the context
+// carries an Observer (see WithObserver), every pipeline stage of every
+// benchmark is traced, the metrics registry accumulates pipeline counters,
+// and per-benchmark completion is reported as progress events.
+func RunExperimentsCtx(ctx context.Context, cfg ExperimentConfig) (*Suite, error) {
+	return experiment.RunCtx(ctx, cfg)
+}
+
 // WriteReport renders Table 1, Figures 1-5, and the Table 2/3 phase
 // comparisons for the suite.
 func WriteReport(w io.Writer, s *Suite) error {
 	return report.Suite(w, s)
+}
+
+// WriteReportCtx is WriteReport plus an observability appendix: when the
+// context carries an Observer, the stage-timing tree and the metrics
+// snapshot it accumulated are appended after the paper artifacts. Without
+// an observer the output is identical to WriteReport.
+func WriteReportCtx(ctx context.Context, w io.Writer, s *Suite) error {
+	if err := report.Suite(w, s); err != nil {
+		return err
+	}
+	return report.Appendix(w, obs.From(ctx))
+}
+
+// Observability types, re-exported from the internal obs package. An
+// Observer travels on a context.Context (WithObserver) and is consumed by
+// the *Ctx variants of the pipeline entry points; a nil Observer — or a
+// plain context — records nothing and costs nothing.
+type (
+	// Observer bundles a metrics registry, a tracer, and a progress sink.
+	Observer = obs.Observer
+	// MetricsSnapshot is a point-in-time copy of every recorded metric.
+	MetricsSnapshot = obs.Snapshot
+	// ProgressEvent is one coarse progress update from the pipeline.
+	ProgressEvent = obs.Event
+)
+
+// NewObserver returns an Observer with a fresh metrics registry and
+// tracer. Attach a progress sink with obs := NewObserver();
+// obs.Progress = NewProgressWriter(os.Stderr).
+func NewObserver() *Observer { return obs.New() }
+
+// NewProgressWriter returns a progress sink that renders one line per
+// event to w.
+func NewProgressWriter(w io.Writer) *obs.Progress { return obs.NewProgress(w) }
+
+// WithObserver returns a context carrying the observer; pipeline *Ctx
+// functions called with it record metrics, spans, and progress.
+func WithObserver(ctx context.Context, o *Observer) context.Context {
+	return obs.With(ctx, o)
+}
+
+// ObserverFrom returns the context's observer, or nil.
+func ObserverFrom(ctx context.Context) *Observer {
+	return obs.From(ctx)
 }
