@@ -254,6 +254,30 @@ func BenchmarkPipelineSingleBenchmark(b *testing.B) {
 	}
 }
 
+// workersBench runs the single-benchmark pipeline at a fixed pool size;
+// comparing the Workers=1 and Workers=GOMAXPROCS variants shows the
+// wall-clock effect of the intra-benchmark parallelism (the numbers
+// themselves are bit-identical — see TestWorkersDeterminism).
+func workersBench(b *testing.B, workers int) {
+	cfg := experiment.QuickConfig()
+	cfg.Benchmarks = []string{"gzip"}
+	cfg.TargetOps = 600_000
+	cfg.IntervalSize = 8_000
+	cfg.Workers = workers
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunBenchmark("gzip", cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineWorkersSerial runs the pipeline fully serially.
+func BenchmarkPipelineWorkersSerial(b *testing.B) { workersBench(b, 1) }
+
+// BenchmarkPipelineWorkersParallel runs the pipeline on the default
+// GOMAXPROCS-sized worker pool.
+func BenchmarkPipelineWorkersParallel(b *testing.B) { workersBench(b, 0) }
+
 // BenchmarkEndToEndQuickSuite measures the whole reduced evaluation.
 func BenchmarkEndToEndQuickSuite(b *testing.B) {
 	cfg := experiment.QuickConfig()

@@ -245,7 +245,8 @@ commands:
   similarity -bench B [-target T]    interval similarity heat map
 
 common flags: -ops N (program scale), -interval N (interval size),
--seed S (input seed)`)
+-seed S (input seed), -workers N (pool size for clustering/pipeline
+work; 0 = GOMAXPROCS, 1 = serial — parallelism never changes results)`)
 }
 
 // commonFlags adds the scale/input flags shared by the data commands.
@@ -254,6 +255,12 @@ func commonFlags(fs *flag.FlagSet) (ops *uint64, interval *uint64, seed *uint64)
 	interval = fs.Uint64("interval", 25_000, "interval size in instructions")
 	seed = fs.Uint64("seed", 0x5EED, "input seed")
 	return
+}
+
+// workersFlag adds the worker-pool knob shared by the point-picking
+// commands. Parallelism never changes the chosen points, only wall clock.
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "clustering worker pool size (0 = GOMAXPROCS, 1 = serial; never changes the numbers)")
 }
 
 func cmdBenchmarks(w io.Writer) error {
@@ -356,6 +363,7 @@ func cmdPoints(ctx context.Context, args []string, w io.Writer) error {
 	flavor := fs.String("flavor", "vli", "fli (per-binary) or vli (cross-binary)")
 	out := fs.String("o", "", "write PinPoints-style JSON here (default stdout)")
 	ops, interval, seed := commonFlags(fs)
+	workers := workersFlag(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -368,7 +376,7 @@ func cmdPoints(ctx context.Context, args []string, w io.Writer) error {
 		return err
 	}
 	in := xbsim.Input{Name: "ref", Seed: *seed}
-	cfg := xbsim.PointsConfig{IntervalSize: *interval}
+	cfg := xbsim.PointsConfig{IntervalSize: *interval, Workers: *workers}
 
 	var ps *xbsim.PointSet
 	switch *flavor {
@@ -440,6 +448,7 @@ func cmdEstimate(ctx context.Context, args []string, w io.Writer) error {
 	bench := fs.String("bench", "", "benchmark name")
 	flavor := fs.String("flavor", "vli", "fli or vli")
 	ops, interval, seed := commonFlags(fs)
+	workers := workersFlag(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -448,7 +457,7 @@ func cmdEstimate(ctx context.Context, args []string, w io.Writer) error {
 		return err
 	}
 	in := xbsim.Input{Name: "ref", Seed: *seed}
-	cfg := xbsim.PointsConfig{IntervalSize: *interval}
+	cfg := xbsim.PointsConfig{IntervalSize: *interval, Workers: *workers}
 
 	var cross *xbsim.CrossPoints
 	if *flavor == "vli" {
@@ -492,6 +501,7 @@ func cmdFigures(ctx context.Context, args []string, w io.Writer) error {
 	only := fs.String("only", "", "emit a single artifact: table1, fig1..fig5, table2, table3")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of the ASCII report")
 	detail := fs.Bool("detail", false, "emit per-benchmark detail (per-binary tables, speedups, phase timeline)")
+	workers := fs.Int("workers", 0, "intra-benchmark worker pool size (0 = GOMAXPROCS, 1 = serial; never changes the numbers)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -502,6 +512,7 @@ func cmdFigures(ctx context.Context, args []string, w io.Writer) error {
 	if *benchList != "" {
 		cfg.Benchmarks = strings.Split(*benchList, ",")
 	}
+	cfg.Workers = *workers
 	if *only == "table1" {
 		return report.Table1(w, cfg.Hierarchy)
 	}
@@ -550,11 +561,13 @@ func cmdAblations(args []string, w io.Writer) error {
 	fs := newFlagSet("ablations")
 	benchList := fs.String("benchmarks", "swim,crafty,applu", "comma-separated benchmark subset")
 	only := fs.String("only", "", "run one study: bic, dim, markers, inline, primary, warming, early")
+	workers := fs.Int("workers", 0, "intra-benchmark worker pool size (0 = GOMAXPROCS, 1 = serial; never changes the numbers)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	cfg := xbsim.QuickExperimentConfig()
 	cfg.Benchmarks = strings.Split(*benchList, ",")
+	cfg.Workers = *workers
 
 	studies := []struct {
 		key string
@@ -772,6 +785,7 @@ func cmdPhases(ctx context.Context, args []string, w io.Writer) error {
 	flavor := fs.String("flavor", "vli", "fli or vli")
 	width := fs.Int("width", 72, "strip width in characters")
 	ops, interval, seed := commonFlags(fs)
+	workers := workersFlag(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -780,7 +794,7 @@ func cmdPhases(ctx context.Context, args []string, w io.Writer) error {
 		return err
 	}
 	in := xbsim.Input{Name: "ref", Seed: *seed}
-	cfg := xbsim.PointsConfig{IntervalSize: *interval}
+	cfg := xbsim.PointsConfig{IntervalSize: *interval, Workers: *workers}
 	var ps *xbsim.PointSet
 	switch *flavor {
 	case "fli":

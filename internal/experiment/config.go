@@ -13,6 +13,7 @@ import (
 	"xbsim/internal/cmpsim"
 	"xbsim/internal/compiler"
 	"xbsim/internal/mapping"
+	"xbsim/internal/pool"
 	"xbsim/internal/program"
 )
 
@@ -57,6 +58,20 @@ type Config struct {
 	EarlyTolerance float64
 	// Parallelism caps concurrent benchmark pipelines (default NumCPU).
 	Parallelism int
+	// Workers bounds the intra-benchmark worker pool: per-binary profile
+	// walks, the SimPoint k sweep and its k-means restarts, and
+	// per-binary evaluation all draw from one shared pool of this size.
+	// Results are bit-identical for every value — all randomness is
+	// per-index seeded and results are collected by index — so Workers
+	// trades only wall clock, never output. Default GOMAXPROCS; 1 runs
+	// the pipeline serially.
+	Workers int
+
+	// workerPool is the shared bounded pool threaded through the
+	// pipeline. RunCtx installs one pool for the whole suite so
+	// concurrent benchmarks share a single Workers budget;
+	// RunBenchmarkCtx creates its own when none is installed.
+	workerPool *pool.Pool
 }
 
 // QuickConfig is a reduced configuration for tests and go-test benches:
@@ -122,6 +137,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c, nil
 }

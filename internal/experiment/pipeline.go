@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"xbsim/internal/exec"
 	"xbsim/internal/mapping"
 	"xbsim/internal/obs"
+	"xbsim/internal/pool"
 	"xbsim/internal/profile"
 	"xbsim/internal/program"
 	"xbsim/internal/simpoint"
@@ -91,10 +93,22 @@ func RunBenchmark(name string, cfg Config) (*BenchmarkResult, error) {
 // progress is reported per binary, and the metrics registry accumulates
 // interval, marker, clustering, and simulator counters. Without an
 // observer it behaves — and costs — exactly like RunBenchmark.
+//
+// Within the benchmark, the per-binary profile walks, the SimPoint
+// sweeps, and the per-binary evaluations run concurrently on a bounded
+// pool of Config.Workers goroutines. The parallel schedule never changes
+// the numbers: every unit of work owns an index-addressed result slot
+// and an independently seeded random stream, so the output is
+// bit-identical to a Workers=1 run. Spans started by pool workers carry
+// the stage span as parent through the context, so concurrent work still
+// nests correctly under the benchmark root in the trace.
 func RunBenchmarkCtx(ctx context.Context, name string, cfg Config) (*BenchmarkResult, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.workerPool == nil {
+		cfg.workerPool = pool.New(cfg.Workers)
 	}
 	o := obs.From(ctx)
 	ctx, bspan := obs.StartSpan(ctx, "benchmark")
@@ -114,29 +128,33 @@ func RunBenchmarkCtx(ctx context.Context, name string, cfg Config) (*BenchmarkRe
 		return nil, err
 	}
 
-	// Walk 1 per binary: call/branch profile + FLI BBVs + totals.
+	// Walk 1 per binary: call/branch profile + FLI BBVs + totals. The
+	// walks are independent per binary, so they fan out on the pool;
+	// each writes its own profiles[bi]/fliRes[bi] slot.
 	profiles := make([]*profile.Profile, len(bins))
 	fliRes := make([]*profile.FLIResult, len(bins))
 	pctx, pspan := obs.StartSpan(ctx, "stage.profile")
-	for bi, bin := range bins {
+	err = cfg.workerPool.Run(len(bins), func(bi int) error {
+		bin := bins[bi]
 		o.Report(obs.Event{Benchmark: name, Binary: bin.Name, Stage: "profile"})
 		ic := exec.NewInstructionCounter(bin)
 		mc := exec.NewMarkerCounter(bin)
 		fc, err := profile.NewFLICollector(bin, cfg.IntervalSize)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := exec.RunCtx(pctx, bin, cfg.Input, exec.Multi{ic, mc, fc}); err != nil {
-			return nil, err
+			return err
 		}
 		fliRes[bi] = fc.Finish()
 		o.Counter("pipeline.intervals.fli").Add(uint64(len(fliRes[bi].Ends)))
 		profiles[bi], err = profile.BuildProfile(bin, cfg.Input, ic.Instructions, mc.Counts)
-		if err != nil {
-			return nil, err
-		}
-	}
+		return err
+	})
 	pspan.End()
+	if err != nil {
+		return nil, err
+	}
 
 	// Mappable points across all binaries.
 	o.Report(obs.Event{Benchmark: name, Stage: "mapping"})
@@ -163,35 +181,54 @@ func RunBenchmarkCtx(ctx context.Context, name string, cfg Config) (*BenchmarkRe
 
 	// SimPoint: per-binary FLI (independent runs, independently seeded —
 	// exactly what an engineer running SimPoint per binary would do), and
-	// one VLI run on the primary.
+	// one VLI run on the primary. All len(bins)+1 runs are independent
+	// and fan out together; each PickCtx additionally parallelizes its
+	// own k sweep and k-means restarts on the same shared pool.
 	o.Report(obs.Event{Benchmark: name, Stage: "clustering"})
-	fliPicks := make([]*simpoint.Result, len(bins))
-	for bi := range bins {
-		fliPicks[bi], err = simpoint.PickCtx(ctx, fliRes[bi].Dataset, simpoint.Config{
-			MaxK: cfg.MaxK, Dim: cfg.Dim, BICThreshold: cfg.BICThreshold,
-			Restarts: cfg.Restarts, EarlyTolerance: cfg.EarlyTolerance,
-			Seed: fmt.Sprintf("%s/fli/%s", cfg.Seed, bins[bi].Name),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("%s fli simpoint: %w", bins[bi].Name, err)
-		}
-	}
-	vliPick, err := simpoint.PickCtx(ctx, vliRes.Dataset, simpoint.Config{
+	spCfg := simpoint.Config{
 		MaxK: cfg.MaxK, Dim: cfg.Dim, BICThreshold: cfg.BICThreshold,
 		Restarts: cfg.Restarts, EarlyTolerance: cfg.EarlyTolerance,
-		Seed: fmt.Sprintf("%s/vli/%s", cfg.Seed, prog.Name),
+		Pool: cfg.workerPool,
+	}
+	fliPicks := make([]*simpoint.Result, len(bins))
+	var vliPick *simpoint.Result
+	err = cfg.workerPool.Run(len(bins)+1, func(i int) error {
+		pickCfg := spCfg
+		if i == len(bins) {
+			pickCfg.Seed = fmt.Sprintf("%s/vli/%s", cfg.Seed, prog.Name)
+			var err error
+			vliPick, err = simpoint.PickCtx(ctx, vliRes.Dataset, pickCfg)
+			if err != nil {
+				return fmt.Errorf("%s vli simpoint: %w", prog.Name, err)
+			}
+			return nil
+		}
+		pickCfg.Seed = fmt.Sprintf("%s/fli/%s", cfg.Seed, bins[i].Name)
+		var err error
+		fliPicks[i], err = simpoint.PickCtx(ctx, fliRes[i].Dataset, pickCfg)
+		if err != nil {
+			return fmt.Errorf("%s fli simpoint: %w", bins[i].Name, err)
+		}
+		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("%s vli simpoint: %w", prog.Name, err)
+		return nil, err
 	}
 
-	res := &BenchmarkResult{Name: name, Mapping: mapped, Primary: primary}
-	for bi, bin := range bins {
+	// Walks 3-5 per binary: full + gated simulation and the method
+	// statistics. Each binary owns its simulators and its Runs[bi] slot.
+	res := &BenchmarkResult{Name: name, Mapping: mapped, Primary: primary,
+		Runs: make([]*BinaryRun, len(bins))}
+	err = cfg.workerPool.Run(len(bins), func(bi int) error {
 		run, err := evaluateBinary(ctx, cfg, bins, bi, profiles[bi], fliRes[bi], fliPicks[bi], vliRes, vliPick, mapped)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", bin.Name, err)
+			return fmt.Errorf("%s: %w", bins[bi].Name, err)
 		}
-		res.Runs = append(res.Runs, run)
+		res.Runs[bi] = run
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	o.Counter("pipeline.benchmarks_completed").Inc()
 	return res, nil
@@ -283,13 +320,22 @@ func evaluateBinary(ctx context.Context, cfg Config, bins []*compiler.Binary, bi
 		return nil, err
 	}
 	// The recalculated per-binary VLI weights are a reportable invariant:
-	// they must sum to ~1. Gauges hold the most recent binary's weights.
+	// they must sum to ~1. Gauges hold the most recent binary's weights;
+	// the mutex keeps one binary's complete weight set as the final state
+	// when binaries are evaluated concurrently — an interleaved mix of
+	// two binaries' weights would not sum to 1.
+	vliGaugeMu.Lock()
 	for p, w := range run.VLI.PhaseWeights {
 		o.Gauge(fmt.Sprintf("pipeline.vli.phase_weight.p%02d", p)).Set(w)
 	}
+	vliGaugeMu.Unlock()
 	o.Counter("pipeline.binaries_evaluated").Inc()
 	return run, nil
 }
+
+// vliGaugeMu serializes publication of the per-phase VLI weight gauges
+// across concurrently evaluated binaries.
+var vliGaugeMu sync.Mutex
 
 // simulatePoints runs one region-gated simulation walk and returns, per
 // phase, the measured CPI of its simulation point and the representative
@@ -518,12 +564,15 @@ func Run(cfg Config) (*Suite, error) {
 // RunCtx is Run with observability: benchmark completion progress is
 // reported through the context's observer, and every per-benchmark stage
 // is traced (see RunBenchmarkCtx). Concurrent benchmarks land in separate
-// trace lanes keyed by their root spans.
+// trace lanes keyed by their root spans. All benchmarks share one
+// intra-benchmark worker pool, so the whole suite never runs more than
+// Parallelism benchmark goroutines plus Workers-1 pool helpers.
 func RunCtx(ctx context.Context, cfg Config) (*Suite, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
+	cfg.workerPool = pool.New(cfg.Workers)
 	o := obs.From(ctx)
 	suite := &Suite{Config: cfg, Results: make([]*BenchmarkResult, len(cfg.Benchmarks))}
 	sem := make(chan struct{}, cfg.Parallelism)
@@ -549,10 +598,10 @@ func RunCtx(ctx context.Context, cfg Config) (*Suite, error) {
 		}(i, name)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	// Join every failure (in benchmark order) instead of surfacing only
+	// the first: a multi-failure run stays debuggable in one pass.
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return suite, nil
 }

@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"xbsim/internal/obs"
+	"xbsim/internal/pool"
 	"xbsim/internal/vecmath"
 	"xbsim/internal/xrand"
 )
@@ -45,6 +46,10 @@ type Config struct {
 	// Obs, when non-nil, receives clustering metrics (restart and Lloyd
 	// iteration counters, iteration histograms). Nil records nothing.
 	Obs *obs.Observer
+	// Pool, when non-nil, runs the restarts concurrently. Each restart
+	// draws from its own SplitIndexed stream and lands in an
+	// index-addressed slot, so the result is identical to a serial run.
+	Pool *pool.Pool
 }
 
 func (c Config) withDefaults() Config {
@@ -109,12 +114,21 @@ func Run(points [][]float64, weights []float64, k int, cfg Config) (*Result, err
 	}
 	cfg = cfg.withDefaults()
 
+	// Restarts run concurrently (when a pool is configured) into
+	// index-addressed slots; the reduction below scans them in restart
+	// order, so the winner — including tie-breaks on equal distortion —
+	// is exactly the one the serial loop would keep.
+	results := make([]*Result, cfg.Restarts)
+	iters := make([]uint64, cfg.Restarts)
+	_ = cfg.Pool.Run(cfg.Restarts, func(r int) error {
+		results[r], iters[r] = runOnce(points, weights, k, cfg, cfg.Rng.SplitIndexed("restart", r))
+		return nil
+	})
 	var best *Result
 	var totalIters uint64
-	for r := 0; r < cfg.Restarts; r++ {
-		res, iters := runOnce(points, weights, k, cfg, cfg.Rng.SplitIndexed("restart", r))
-		totalIters += iters
-		cfg.Obs.Histogram("kmeans.iterations_per_restart").Observe(iters)
+	for r, res := range results {
+		totalIters += iters[r]
+		cfg.Obs.Histogram("kmeans.iterations_per_restart").Observe(iters[r])
 		if best == nil || res.Distortion < best.Distortion {
 			best = res
 		}
@@ -202,24 +216,41 @@ func recomputeCentroids(points [][]float64, weights []float64, assign []int, cen
 		vecmath.AddScaled(sums[c], points[i], w)
 		totals[c] += w
 	}
+	var empty []int
 	for c := range centroids {
 		if totals[c] > 0 {
 			vecmath.Scale(sums[c], 1/totals[c])
 			centroids[c] = sums[c]
-			continue
+		} else {
+			empty = append(empty, c)
 		}
-		// Empty cluster: re-seed with the point currently farthest from
-		// its assigned centroid, which splits the most spread-out cluster.
-		farthest, farD := 0, -1.0
+	}
+	// Empty clusters are re-seeded with the point farthest from its
+	// assigned centroid, which splits the most spread-out cluster. The
+	// re-seeding is iterative: each pick sees the centroids refreshed by
+	// earlier picks and excludes already-used points, so two clusters
+	// emptied in the same pass never adopt the same point.
+	used := make(map[int]bool, len(empty))
+	for _, c := range empty {
+		farthest, farD := -1, -1.0
 		for i, p := range points {
+			if used[i] {
+				continue
+			}
 			d := vecmath.SquaredDistance(p, centroids[assign[i]])
 			if d > farD {
 				farthest, farD = i, d
 			}
 		}
+		if farthest < 0 {
+			// More empty clusters than points left; k <= len(points)
+			// makes this unreachable, but degrade gracefully anyway.
+			farthest = 0
+		}
+		used[farthest] = true
 		centroids[c] = append([]float64(nil), points[farthest]...)
-		_ = rng // reserved for randomized tie-breaking strategies
 	}
+	_ = rng // reserved for randomized tie-breaking strategies
 }
 
 func initCentroids(points [][]float64, weights []float64, k int, method InitMethod, rng *xrand.Stream) [][]float64 {
@@ -234,19 +265,41 @@ func initCentroids(points [][]float64, weights []float64, k int, method InitMeth
 func initRandom(points [][]float64, k int, rng *xrand.Stream) [][]float64 {
 	perm := rng.Perm(len(points))
 	centroids := make([][]float64, 0, k)
-	seen := map[string]bool{}
 	for _, i := range perm {
-		key := fmt.Sprint(points[i])
-		if seen[key] {
+		if containsVec(centroids, points[i]) {
 			continue
 		}
-		seen[key] = true
 		centroids = append(centroids, append([]float64(nil), points[i]...))
 		if len(centroids) == k {
 			break
 		}
 	}
 	return centroids
+}
+
+// sameVec reports whether two vectors are numerically identical. IEEE
+// equality deliberately treats -0 and 0 as the same coordinate, unlike
+// their printed forms.
+func sameVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// containsVec reports whether vs contains a vector equal to p.
+func containsVec(vs [][]float64, p []float64) bool {
+	for _, v := range vs {
+		if sameVec(v, p) {
+			return true
+		}
+	}
+	return false
 }
 
 func initPlusPlus(points [][]float64, weights []float64, k int, rng *xrand.Stream) [][]float64 {

@@ -1,0 +1,121 @@
+// Package pool provides the bounded worker pool that parallelizes the
+// inside of one benchmark pipeline: per-binary profile walks, the
+// SimPoint k-sweep, k-means restarts, and per-binary evaluation.
+//
+// The pool is built for deterministic fan-out. Tasks are identified by
+// index, every task derives its randomness from a per-index seeded
+// stream (xrand.SplitIndexed), and callers collect results into
+// index-addressed slices — so the output of a parallel run is
+// bit-for-bit identical to the serial run, regardless of scheduling.
+// The pool itself only guarantees the part it can: every index runs
+// exactly once, and errors are joined in index order.
+//
+// Concurrency is bounded with a caller-participates token scheme: a
+// Pool with N workers holds N-1 helper tokens, and Run always executes
+// tasks on the calling goroutine while spawning at most as many helper
+// goroutines as there are free tokens. Because the caller never blocks
+// waiting for a token, nested Run calls (the k-sweep calling k-means
+// restarts, several benchmarks sharing one pool) cannot deadlock and
+// cannot multiply the worker budget: the whole tree of nested calls is
+// limited to N-1 extra goroutines beyond its callers.
+package pool
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded worker pool. A nil *Pool is valid and runs
+// everything serially on the calling goroutine, so call sites never
+// branch on "is parallelism enabled".
+type Pool struct {
+	// tokens grants the right to run one helper goroutine; capacity is
+	// workers-1 because the calling goroutine always works too.
+	tokens  chan struct{}
+	workers int
+}
+
+// New returns a pool that runs at most workers tasks concurrently.
+// workers <= 0 means runtime.GOMAXPROCS(0).
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, tokens: make(chan struct{}, workers-1)}
+}
+
+// Workers returns the pool's concurrency bound (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Run executes fn(i) for every i in [0, n). Indices are claimed by an
+// atomic counter, so which goroutine runs which index is scheduling-
+// dependent — deterministic output therefore requires fn to write its
+// result into an index-addressed slot, which every call site in this
+// repository does. Run returns after all n calls finished, with the
+// non-nil errors joined in index order (errors.Join).
+func (p *Pool) Run(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	if p == nil || p.workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+		return errors.Join(errs...)
+	}
+
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			errs[i] = fn(i)
+		}
+	}
+
+	// Spawn helpers only while tokens are free; never block on one. The
+	// select's default arm is what makes nested Run calls safe: with no
+	// token available the caller just does all the work itself.
+	var wg sync.WaitGroup
+spawn:
+	for i := 0; i < n-1; i++ {
+		select {
+		case p.tokens <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-p.tokens }()
+				work()
+			}()
+		default:
+			break spawn
+		}
+	}
+	work()
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Map runs fn for every index in [0, n) through the pool and returns
+// the results as an index-addressed slice: out[i] is fn(i)'s value no
+// matter which worker produced it. On error the slice is still
+// returned with every successful index filled in.
+func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := p.Run(n, func(i int) error {
+		v, err := fn(i)
+		out[i] = v
+		return err
+	})
+	return out, err
+}

@@ -1,0 +1,160 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := New(workers)
+		counts := make([]atomic.Int64, 100)
+		if err := p.Run(len(counts), func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestNilPoolIsSerial(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool Workers() = %d", p.Workers())
+	}
+	order := []int{}
+	if err := p.Run(5, func(i int) error {
+		order = append(order, i) // safe: serial execution, no goroutines
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil pool ran out of order: %v", order)
+		}
+	}
+}
+
+func TestErrorsJoinedInIndexOrder(t *testing.T) {
+	p := New(4)
+	err := p.Run(10, func(i int) error {
+		if i == 3 || i == 7 {
+			return fmt.Errorf("task %d failed", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	want := "task 3 failed\ntask 7 failed"
+	if err.Error() != want {
+		t.Fatalf("joined error = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestMapIsIndexAddressed(t *testing.T) {
+	p := New(8)
+	out, err := Map(p, 50, func(i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapKeepsSuccessesOnError(t *testing.T) {
+	p := New(2)
+	out, err := Map(p, 4, func(i int) (string, error) {
+		if i == 2 {
+			return "", errors.New("boom")
+		}
+		return fmt.Sprint(i), nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if out[0] != "0" || out[1] != "1" || out[3] != "3" {
+		t.Fatalf("successful slots lost: %v", out)
+	}
+}
+
+// Nested Run calls share the pool's budget and must not deadlock even
+// when the nesting depth exceeds the worker count.
+func TestNestedRunsDoNotDeadlock(t *testing.T) {
+	p := New(2)
+	var leaves atomic.Int64
+	err := p.Run(4, func(int) error {
+		return p.Run(4, func(int) error {
+			return p.Run(4, func(int) error {
+				leaves.Add(1)
+				return nil
+			})
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := leaves.Load(); got != 64 {
+		t.Fatalf("%d leaf tasks ran, want 64", got)
+	}
+}
+
+// The helper-token scheme bounds concurrency: at most Workers tasks of
+// one flat Run execute simultaneously.
+func TestConcurrencyBounded(t *testing.T) {
+	const workers = 3
+	p := New(workers)
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	if err := p.Run(64, func(int) error {
+		n := cur.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		for i := 0; i < 1000; i++ { // widen the overlap window
+			_ = i
+		}
+		cur.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent tasks, bound is %d", got, workers)
+	}
+}
+
+// Index-addressed collection makes parallel output identical to serial
+// output — the determinism contract every call site relies on.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial, err := Map[int](nil, 200, func(i int) (int, error) { return i * 7 % 13, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Map(New(8), 200, func(i int) (int, error) { return i * 7 % 13, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("index %d: serial %d != parallel %d", i, serial[i], parallel[i])
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"xbsim/internal/bbv"
 	"xbsim/internal/kmeans"
 	"xbsim/internal/obs"
+	"xbsim/internal/pool"
 	"xbsim/internal/vecmath"
 	"xbsim/internal/xrand"
 )
@@ -61,6 +62,11 @@ type Config struct {
 	// Earlier points need less fast-forwarding before detailed
 	// simulation starts. 0 keeps the classic closest-point rule.
 	EarlyTolerance float64
+	// Pool, when non-nil, runs the k = 1..MaxK sweep (and each run's
+	// k-means restarts) concurrently. Every k draws from its own indexed
+	// random stream and lands in an index-addressed slot, so the chosen
+	// clustering is identical to a serial sweep.
+	Pool *pool.Pool
 }
 
 func (c Config) withDefaults() Config {
@@ -158,6 +164,7 @@ func PickCtx(ctx context.Context, ds *bbv.Dataset, cfg Config) (*Result, error) 
 			Restarts: cfg.Restarts,
 			Rng:      rng.SplitIndexed("kmeans", k),
 			Obs:      o,
+			Pool:     cfg.Pool,
 		})
 		cspan.End()
 		if err != nil {
@@ -168,26 +175,34 @@ func PickCtx(ctx context.Context, ds *bbv.Dataset, cfg Config) (*Result, error) 
 			[]float64{kmeans.BIC(points, weights, res)}, cfg.EarlyTolerance)
 	}
 
+	// The sweep over k is embarrassingly parallel: each k has its own
+	// indexed random stream and writes into its own slot, so a pooled
+	// sweep picks exactly the clustering a serial sweep would.
 	maxK := capK(cfg.MaxK)
 	runs := make([]*kmeans.Result, maxK)
 	bics := make([]float64, maxK)
 	_, cspan := obs.StartSpan(ctx, "stage.clustering")
 	cspan.Annotate(cfg.Seed)
-	for k := 1; k <= maxK; k++ {
+	err = cfg.Pool.Run(maxK, func(i int) error {
+		k := i + 1
 		res, err := kmeans.Run(points, weights, k, kmeans.Config{
 			Restarts: cfg.Restarts,
 			Rng:      rng.SplitIndexed("kmeans", k),
 			Obs:      o,
+			Pool:     cfg.Pool,
 		})
 		if err != nil {
-			cspan.End()
-			return nil, fmt.Errorf("simpoint: k=%d: %w", k, err)
+			return fmt.Errorf("simpoint: k=%d: %w", k, err)
 		}
-		runs[k-1] = res
-		bics[k-1] = kmeans.BIC(points, weights, res)
-		o.Gauge(fmt.Sprintf("simpoint.bic.k%02d", k)).Set(bics[k-1])
-	}
+		runs[i] = res
+		bics[i] = kmeans.BIC(points, weights, res)
+		o.Gauge(fmt.Sprintf("simpoint.bic.k%02d", k)).Set(bics[i])
+		return nil
+	})
 	cspan.End()
+	if err != nil {
+		return nil, err
+	}
 
 	chosen := chooseK(bics, cfg.BICThreshold)
 	o.Gauge("simpoint.chosen_k").Set(float64(chosen))
@@ -197,21 +212,40 @@ func PickCtx(ctx context.Context, ds *bbv.Dataset, cfg Config) (*Result, error) 
 
 // chooseK applies SimPoint 3.0's selection rule: min-max normalize the BIC
 // scores and return the smallest k whose normalized score is >= threshold.
+// Non-finite scores (NaN or ±Inf from degenerate clusterings) are excluded
+// from the normalization and can never be chosen — a single poisoned score
+// must not drag the min-max range and silently force the maximum k. When
+// no score is finite the sweep degenerates entirely and k = 1 is the only
+// defensible answer.
 func chooseK(bics []float64, threshold float64) int {
+	finite := func(b float64) bool { return !math.IsNaN(b) && !math.IsInf(b, 0) }
 	lo, hi := math.Inf(1), math.Inf(-1)
+	any := false
 	for _, b := range bics {
+		if !finite(b) {
+			continue
+		}
+		any = true
 		lo = math.Min(lo, b)
 		hi = math.Max(hi, b)
 	}
-	if hi == lo {
+	if !any {
 		return 1
 	}
 	for k := 1; k <= len(bics); k++ {
-		norm := (bics[k-1] - lo) / (hi - lo)
-		if norm >= threshold {
+		b := bics[k-1]
+		if !finite(b) {
+			continue
+		}
+		if hi == lo {
+			// All finite scores equal: the smallest finite k wins.
+			return k
+		}
+		if (b-lo)/(hi-lo) >= threshold {
 			return k
 		}
 	}
+	// Unreachable: the maximum finite score normalizes to 1 >= threshold.
 	return len(bics)
 }
 

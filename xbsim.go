@@ -48,6 +48,7 @@ import (
 	"xbsim/internal/markerstats"
 	"xbsim/internal/obs"
 	"xbsim/internal/pinpoints"
+	"xbsim/internal/pool"
 	"xbsim/internal/profile"
 	"xbsim/internal/program"
 	"xbsim/internal/report"
@@ -240,6 +241,10 @@ type PointsConfig struct {
 	EarlyTolerance float64
 	// Mapping tunes mappable-point discovery (cross-binary only).
 	Mapping MappingOptions
+	// Workers bounds the worker pool used for the clustering sweep and
+	// its k-means restarts. The results are bit-identical for every
+	// value; Workers trades only wall clock. 0 = GOMAXPROCS, 1 = serial.
+	Workers int
 }
 
 func (c PointsConfig) withDefaults() PointsConfig {
@@ -256,6 +261,7 @@ func (c PointsConfig) simpointConfig(seed string) simpoint.Config {
 	return simpoint.Config{
 		MaxK: c.MaxK, Dim: c.Dim, BICThreshold: c.BICThreshold, Seed: seed,
 		EarlyTolerance: c.EarlyTolerance,
+		Pool:           pool.New(c.Workers),
 	}
 }
 
