@@ -34,6 +34,7 @@ import (
 	"xbsim/internal/bbv"
 	"xbsim/internal/callloop"
 	"xbsim/internal/experiment"
+	"xbsim/internal/invariant"
 	"xbsim/internal/markerstats"
 	"xbsim/internal/obs"
 	"xbsim/internal/report"
@@ -205,6 +206,8 @@ func run(ctx context.Context, command string, args []string, w io.Writer) error 
 		return cmdTrace(args, w)
 	case "verify":
 		return cmdVerify(args, w)
+	case "selfcheck":
+		return cmdSelfcheck(ctx, args, w)
 	case "callgraph":
 		return cmdCallgraph(args, w)
 	case "phases":
@@ -240,6 +243,9 @@ commands:
   trace    -info F                   inspect a recorded trace
   verify   -bench B                  check the cross-binary invariants
                                      hold for this workload
+  selfcheck [-n N] [-seed S] [-workers W]
+                                     metamorphic self-check: N randomized
+                                     programs through the full pipeline
   callgraph -bench B [-target T]     annotated call-loop graph
   phases   -bench B [-flavor F]      phase timeline of the execution
   similarity -bench B [-target T]    interval similarity heat map
@@ -737,6 +743,60 @@ func cmdVerify(args []string, w io.Writer) error {
 		return fmt.Errorf("%s: cross-binary invariants violated", rep.Program)
 	}
 	fmt.Fprintf(w, "%s: all cross-binary invariants hold\n", rep.Program)
+	return nil
+}
+
+// cmdSelfcheck runs the metamorphic self-check harness: randomized
+// programs from a seeded distribution, every paper-level invariant
+// checked on each.
+func cmdSelfcheck(ctx context.Context, args []string, w io.Writer) error {
+	fs := newFlagSet("selfcheck")
+	n := fs.Int("n", 10, "number of randomized programs to check")
+	seed := fs.Uint64("seed", 1, "spec distribution seed (same seed = same programs)")
+	workers := fs.Int("workers", 0, "harness worker pool size (0 = GOMAXPROCS, 1 = serial; never changes the report)")
+	ops := fs.Uint64("ops", 0, "override every program's operation count (0 = keep each spec's own scale)")
+	interval := fs.Uint64("interval", 0, "VLI minimum size in instructions (0 = 8000)")
+	cpiBound := fs.Float64("cpi-bound", 0, "cpi-sanity relative error bound (0 = 2.0, a loose sanity net)")
+	listPrograms := fs.Bool("programs", false, "also list every checked program with its outcome")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *n <= 0 {
+		return usagef("-n must be positive")
+	}
+	rep, err := invariant.Run(ctx, invariant.Config{
+		Programs: *n, Seed: *seed, Workers: *workers,
+		TargetOps: *ops, IntervalSize: *interval, CPIBound: *cpiBound,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "selfcheck: %d randomized programs, seed %d\n", *n, *seed)
+	for _, tl := range rep.Tallies() {
+		status := "ok  "
+		if tl.Fail > 0 {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "  %s %-20s %d/%d programs", status, tl.Name, tl.Pass, tl.Pass+tl.Fail)
+		if tl.FirstFailure != "" {
+			fmt.Fprintf(w, "  first: %s", tl.FirstFailure)
+		}
+		fmt.Fprintln(w)
+	}
+	if *listPrograms {
+		for _, pr := range rep.Programs {
+			status := "ok  "
+			if !pr.OK() {
+				status = "FAIL"
+			}
+			fmt.Fprintf(w, "  %s [%3d] %s (ops %d, behaviors %d, segments %d)\n",
+				status, pr.Index, pr.Name, pr.Spec.TargetOps, pr.Spec.Behaviors, pr.Spec.Segments)
+		}
+	}
+	if !rep.OK() {
+		return fmt.Errorf("selfcheck: invariants violated")
+	}
+	fmt.Fprintf(w, "all invariants hold across %d programs\n", *n)
 	return nil
 }
 

@@ -276,3 +276,48 @@ func TestCmdFiguresDetail(t *testing.T) {
 		}
 	}
 }
+
+func TestCmdSelfcheck(t *testing.T) {
+	out := runCmd(t, "selfcheck", "-n", "2", "-seed", "1", "-ops", "90000", "-programs")
+	for _, want := range []string{
+		"selfcheck: 2 randomized programs, seed 1",
+		"marker-counts", "boundary-translate", "weight-sum",
+		"order-invariance", "worker-invariance", "cpi-sanity",
+		"spec-", "all invariants hold across 2 programs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("selfcheck output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("selfcheck reported a failure:\n%s", out)
+	}
+}
+
+func TestCmdSelfcheckUsageErrors(t *testing.T) {
+	var sb strings.Builder
+	var ue usageError
+	if err := run(context.Background(), "selfcheck", []string{"-n", "0"}, &sb); !errors.As(err, &ue) {
+		t.Errorf("-n 0: err = %v (%T), want usageError", err, err)
+	}
+	if err := run(context.Background(), "selfcheck", []string{"-nope"}, &sb); !errors.As(err, &ue) {
+		t.Errorf("undefined flag: err = %v (%T), want usageError", err, err)
+	}
+}
+
+// selfcheck must record per-invariant counters through an observer.
+func TestCmdSelfcheckObservability(t *testing.T) {
+	o := obs.New()
+	ctx := obs.With(context.Background(), o)
+	var sb strings.Builder
+	if err := run(ctx, "selfcheck", []string{"-n", "1", "-ops", "90000"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	snap := o.Metrics.Snapshot()
+	if snap.Counters["selfcheck.pipeline.pass"] != 1 {
+		t.Errorf("selfcheck.pipeline.pass = %d, want 1", snap.Counters["selfcheck.pipeline.pass"])
+	}
+	if snap.Counters["selfcheck.weight-sum.pass"] != 1 {
+		t.Errorf("selfcheck.weight-sum.pass = %d, want 1", snap.Counters["selfcheck.weight-sum.pass"])
+	}
+}

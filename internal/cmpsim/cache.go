@@ -95,26 +95,36 @@ func DefaultHierarchyConfig() HierarchyConfig {
 	}
 }
 
+// Validate checks a single level's geometry is usable: without it the
+// set math degenerates (zero sets underflows the index mask, a
+// non-power-of-two set count aliases distinct sets).
+func (c CacheConfig) Validate() error {
+	if c.LineSize == 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cmpsim: line size %d not a power of two", c.LineSize)
+	}
+	if c.Associativity <= 0 {
+		return fmt.Errorf("cmpsim: associativity %d", c.Associativity)
+	}
+	lines := c.CapacityBytes / c.LineSize
+	if lines == 0 || lines%uint64(c.Associativity) != 0 {
+		return fmt.Errorf("cmpsim: capacity %d not divisible into %d-way sets",
+			c.CapacityBytes, c.Associativity)
+	}
+	sets := lines / uint64(c.Associativity)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cmpsim: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
 // Validate checks the configuration is usable.
 func (c HierarchyConfig) Validate() error {
 	if len(c.Levels) == 0 {
 		return fmt.Errorf("cmpsim: no cache levels")
 	}
 	for i, l := range c.Levels {
-		if l.LineSize == 0 || l.LineSize&(l.LineSize-1) != 0 {
-			return fmt.Errorf("cmpsim: level %d line size %d not a power of two", i, l.LineSize)
-		}
-		if l.Associativity <= 0 {
-			return fmt.Errorf("cmpsim: level %d associativity %d", i, l.Associativity)
-		}
-		lines := l.CapacityBytes / l.LineSize
-		if lines == 0 || lines%uint64(l.Associativity) != 0 {
-			return fmt.Errorf("cmpsim: level %d capacity %d not divisible into %d-way sets",
-				i, l.CapacityBytes, l.Associativity)
-		}
-		sets := lines / uint64(l.Associativity)
-		if sets&(sets-1) != 0 {
-			return fmt.Errorf("cmpsim: level %d set count %d not a power of two", i, sets)
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("level %d: %w", i, err)
 		}
 	}
 	if c.MemoryLatency <= 0 {
@@ -146,8 +156,14 @@ type Cache struct {
 	PrefetchFills uint64
 }
 
-// NewCache builds a cache from its configuration.
-func NewCache(cfg CacheConfig) *Cache {
+// NewCache builds a cache from its configuration. The configuration
+// must validate; degenerate geometries (capacity not divisible into
+// sets, zero sets) are rejected here instead of corrupting the index
+// math later.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	lines := cfg.CapacityBytes / cfg.LineSize
 	numSets := lines / uint64(cfg.Associativity)
 	sets := make([][]cacheLine, numSets)
@@ -168,7 +184,7 @@ func NewCache(cfg CacheConfig) *Cache {
 	if cfg.Replacement == Random {
 		c.rng = xrand.New("cmpsim/random-replacement/" + cfg.Name)
 	}
-	return c
+	return c, nil
 }
 
 // Access looks up the address, filling the line on a miss (LRU victim).
@@ -233,6 +249,14 @@ func (c *Cache) prefetch(addr uint64) {
 	if victim >= 0 && set[victim].valid && c.cfg.Replacement == Random {
 		victim = c.rng.Intn(len(set))
 	}
+	// Never evict the line the triggering demand access just filled
+	// (it is the only line with use == clock, since clock advances once
+	// per Access). In 1-way or single-set caches it is the sole victim
+	// candidate, and evicting it would make every prefetch undo its own
+	// demand fill — a thrash that turns sequential sweeps into 100% misses.
+	if set[victim].valid && set[victim].use == c.clock {
+		return
+	}
 	// Insert at LRU-adjacent priority (use = clock, like a demand fill;
 	// simple and adequate for a next-line prefetcher).
 	set[victim] = cacheLine{tag: tag, valid: true, use: c.clock}
@@ -264,8 +288,12 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 		return nil, err
 	}
 	h := &Hierarchy{memLat: cfg.MemoryLatency}
-	for _, l := range cfg.Levels {
-		h.levels = append(h.levels, NewCache(l))
+	for i, l := range cfg.Levels {
+		c, err := NewCache(l)
+		if err != nil {
+			return nil, fmt.Errorf("level %d: %w", i, err)
+		}
+		h.levels = append(h.levels, c)
 	}
 	return h, nil
 }

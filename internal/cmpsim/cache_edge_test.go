@@ -1,0 +1,171 @@
+package cmpsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNewCacheRejectsDegenerateConfigs pins that degenerate geometries
+// are rejected with an error instead of corrupting the set math. The
+// zero-set case used to underflow the index mask and panic on the
+// first Access.
+func TestNewCacheRejectsDegenerateConfigs(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     CacheConfig
+		wantErr string
+	}{
+		{"zero-sets", CacheConfig{CapacityBytes: 32, Associativity: 1, LineSize: 64}, "not divisible"},
+		{"capacity-below-one-set", CacheConfig{CapacityBytes: 192, Associativity: 4, LineSize: 64}, "not divisible"},
+		{"non-power-of-two-sets", CacheConfig{CapacityBytes: 192, Associativity: 1, LineSize: 64}, "not a power of two"},
+		{"zero-line-size", CacheConfig{CapacityBytes: 128, Associativity: 2, LineSize: 0}, "line size"},
+		{"non-power-of-two-line", CacheConfig{CapacityBytes: 128, Associativity: 2, LineSize: 60}, "line size"},
+		{"zero-associativity", CacheConfig{CapacityBytes: 128, Associativity: 0, LineSize: 64}, "associativity"},
+		{"negative-associativity", CacheConfig{CapacityBytes: 128, Associativity: -2, LineSize: 64}, "associativity"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := NewCache(tc.cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("NewCache err = %v, want %q", err, tc.wantErr)
+			}
+			if c != nil {
+				t.Fatal("NewCache returned a cache with an error")
+			}
+		})
+	}
+}
+
+// TestMinimumCacheWorks pins the smallest legal geometry: one set, one
+// way. It must construct and behave as a single-line cache.
+func TestMinimumCacheWorks(t *testing.T) {
+	c := mustCache(CacheConfig{CapacityBytes: 64, Associativity: 1, LineSize: 64, HitLatency: 1})
+	if c.Access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Fatal("resident line missed")
+	}
+	if c.Access(64) { // conflicts: only one line of storage
+		t.Fatal("conflicting line hit")
+	}
+	if c.Access(0) {
+		t.Fatal("evicted line still resident")
+	}
+}
+
+// TestHierarchyRejectsDegenerateLevel pins that a bad level surfaces
+// as an error from NewHierarchy, naming the level.
+func TestHierarchyRejectsDegenerateLevel(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	cfg.Levels[1].CapacityBytes = 32 // below one line
+	h, err := NewHierarchy(cfg)
+	if err == nil || !strings.Contains(err.Error(), "level 1") {
+		t.Fatalf("NewHierarchy err = %v, want level 1 error", err)
+	}
+	if h != nil {
+		t.Fatal("NewHierarchy returned a hierarchy with an error")
+	}
+}
+
+// TestPrefetchNeverEvictsDemandLine pins the prefetch-thrash fix: in a
+// single-line cache, the next-line prefetch used to evict the line the
+// triggering access had just filled, so nothing ever stayed resident.
+func TestPrefetchNeverEvictsDemandLine(t *testing.T) {
+	for _, p := range []Policy{LRU, FIFO, Random} {
+		t.Run(p.String(), func(t *testing.T) {
+			c := mustCache(CacheConfig{
+				Name: "1line", CapacityBytes: 64, Associativity: 1, LineSize: 64,
+				HitLatency: 1, Replacement: p, NextLinePrefetch: true,
+			})
+			if c.Access(0) {
+				t.Fatal("cold access hit")
+			}
+			if !c.Access(0) {
+				t.Fatal("prefetch evicted the just-filled demand line")
+			}
+			if c.PrefetchFills != 0 {
+				t.Fatalf("prefetch filled %d lines with nowhere safe to put them", c.PrefetchFills)
+			}
+		})
+	}
+}
+
+// TestPrefetchSingleSetKeepsDemandLine is the associativity-2 variant:
+// the prefetched line must land in the free way, never displace the
+// demand line, and the sweep behavior stays pinned.
+func TestPrefetchSingleSetKeepsDemandLine(t *testing.T) {
+	c := mustCache(CacheConfig{
+		Name: "1set", CapacityBytes: 128, Associativity: 2, LineSize: 64,
+		HitLatency: 1, NextLinePrefetch: true,
+	})
+	c.Access(0) // fills line 0, prefetches line 1 into the other way
+	if !c.Access(0) {
+		t.Fatal("demand line gone after prefetch")
+	}
+	if !c.Access(64) {
+		t.Fatal("prefetched line not resident")
+	}
+	if c.PrefetchFills != 1 {
+		t.Fatalf("PrefetchFills = %d, want 1", c.PrefetchFills)
+	}
+	// Sweep onward: each miss of line N prefetches N+1, and that
+	// prefetch must evict the older line, not line N itself.
+	for addr := uint64(128); addr < 1024; addr += 64 {
+		if c.Access(addr) {
+			continue // prefetched by the previous miss
+		}
+		if !c.Access(addr) {
+			t.Fatalf("line %#x evicted by its own prefetch", addr)
+		}
+	}
+}
+
+// TestPrefetchSweepRegression pins the miss counts of a strided sweep
+// over a direct-mapped cache with next-line prefetch: a working set
+// that fits must behave exactly like the 4-way case (miss every other
+// line on the first pass, all hits on the second).
+func TestPrefetchSweepRegression(t *testing.T) {
+	c := mustCache(CacheConfig{
+		Name: "dm", CapacityBytes: 4 << 10, Associativity: 1, LineSize: 64,
+		HitLatency: 1, NextLinePrefetch: true,
+	})
+	lines := uint64(4<<10) / 64
+	for addr := uint64(0); addr < 4<<10; addr += 64 {
+		c.Access(addr)
+	}
+	if c.Misses != lines/2 {
+		t.Fatalf("first pass missed %d of %d lines, want every other line", c.Misses, lines)
+	}
+	c.Hits = 0
+	for addr := uint64(0); addr < 4<<10; addr += 64 {
+		c.Access(addr)
+	}
+	if c.Hits != lines {
+		t.Fatalf("second pass hit %d of %d lines, want all", c.Hits, lines)
+	}
+}
+
+// TestSingleWayPolicies drives each replacement policy through a 1-way
+// (direct-mapped) cache, where victim selection degenerates to "the
+// resident line": all policies must agree.
+func TestSingleWayPolicies(t *testing.T) {
+	for _, p := range []Policy{LRU, FIFO, Random} {
+		t.Run(p.String(), func(t *testing.T) {
+			c := mustCache(CacheConfig{
+				Name: "dm1", CapacityBytes: 256, Associativity: 1, LineSize: 64,
+				HitLatency: 1, Replacement: p,
+			})
+			// Lines 0 and 4 conflict (4 sets); 1 does not.
+			c.Access(0 << 6)
+			c.Access(1 << 6)
+			c.Access(4 << 6) // evicts line 0
+			if c.Access(0 << 6) {
+				t.Fatal("conflicting line survived in a 1-way set")
+			}
+			if !c.Access(1 << 6) {
+				t.Fatal("non-conflicting line evicted")
+			}
+		})
+	}
+}

@@ -10,6 +10,15 @@ import (
 	"xbsim/internal/program"
 )
 
+// mustCache builds a cache from a config the test knows is valid.
+func mustCache(cfg CacheConfig) *Cache {
+	c, err := NewCache(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 func TestDefaultConfigMatchesTable1(t *testing.T) {
 	cfg := DefaultHierarchyConfig()
 	if err := cfg.Validate(); err != nil {
@@ -48,7 +57,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestCacheHitAfterFill(t *testing.T) {
-	c := NewCache(CacheConfig{CapacityBytes: 1 << 10, Associativity: 2, LineSize: 64, HitLatency: 1})
+	c := mustCache(CacheConfig{CapacityBytes: 1 << 10, Associativity: 2, LineSize: 64, HitLatency: 1})
 	if c.Access(0x1000) {
 		t.Fatal("cold access hit")
 	}
@@ -66,7 +75,7 @@ func TestCacheHitAfterFill(t *testing.T) {
 func TestCacheLRUEviction(t *testing.T) {
 	// 2-way, 1 set (128B cache): lines A, B fill the set; touching A then
 	// adding C must evict B.
-	c := NewCache(CacheConfig{CapacityBytes: 128, Associativity: 2, LineSize: 64, HitLatency: 1})
+	c := mustCache(CacheConfig{CapacityBytes: 128, Associativity: 2, LineSize: 64, HitLatency: 1})
 	a, b, cc := uint64(0<<6), uint64(1<<6), uint64(2<<6)
 	c.Access(a)
 	c.Access(b)
@@ -83,7 +92,7 @@ func TestCacheLRUEviction(t *testing.T) {
 func TestCacheWorkingSetFits(t *testing.T) {
 	// Sweeping a working set smaller than capacity twice: second sweep
 	// must be all hits.
-	c := NewCache(CacheConfig{CapacityBytes: 32 << 10, Associativity: 2, LineSize: 64, HitLatency: 3})
+	c := mustCache(CacheConfig{CapacityBytes: 32 << 10, Associativity: 2, LineSize: 64, HitLatency: 3})
 	for pass := 0; pass < 2; pass++ {
 		for addr := uint64(0); addr < 16<<10; addr += 64 {
 			c.Access(addr)
@@ -96,7 +105,7 @@ func TestCacheWorkingSetFits(t *testing.T) {
 
 func TestCacheWorkingSetThrashes(t *testing.T) {
 	// Sweeping 2x capacity repeatedly with LRU: every access misses.
-	c := NewCache(CacheConfig{CapacityBytes: 4 << 10, Associativity: 2, LineSize: 64, HitLatency: 3})
+	c := mustCache(CacheConfig{CapacityBytes: 4 << 10, Associativity: 2, LineSize: 64, HitLatency: 3})
 	for pass := 0; pass < 3; pass++ {
 		for addr := uint64(0); addr < 8<<10; addr += 64 {
 			c.Access(addr)
@@ -108,7 +117,7 @@ func TestCacheWorkingSetThrashes(t *testing.T) {
 }
 
 func TestCacheResetClears(t *testing.T) {
-	c := NewCache(CacheConfig{CapacityBytes: 128, Associativity: 2, LineSize: 64, HitLatency: 1})
+	c := mustCache(CacheConfig{CapacityBytes: 128, Associativity: 2, LineSize: 64, HitLatency: 1})
 	c.Access(0)
 	c.Reset()
 	if c.Hits != 0 || c.Misses != 0 {
@@ -121,7 +130,7 @@ func TestCacheResetClears(t *testing.T) {
 
 func TestCacheNoPhantomHitsProperty(t *testing.T) {
 	// Property: an address never accessed before cannot hit.
-	c := NewCache(CacheConfig{CapacityBytes: 1 << 10, Associativity: 4, LineSize: 64, HitLatency: 1})
+	c := mustCache(CacheConfig{CapacityBytes: 1 << 10, Associativity: 4, LineSize: 64, HitLatency: 1})
 	seen := map[uint64]bool{}
 	f := func(raw uint16) bool {
 		addr := uint64(raw) << 6

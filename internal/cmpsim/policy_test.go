@@ -19,7 +19,7 @@ func TestPolicyStrings(t *testing.T) {
 
 // twoWaySet builds a 2-way, single-set cache with the given policy.
 func twoWaySet(p Policy) *Cache {
-	return NewCache(CacheConfig{
+	return mustCache(CacheConfig{
 		Name: "t", CapacityBytes: 128, Associativity: 2, LineSize: 64,
 		HitLatency: 1, Replacement: p,
 	})
@@ -86,7 +86,7 @@ func TestRandomPolicyEventuallyEvictsEitherWay(t *testing.T) {
 
 func TestRandomPolicyDeterministic(t *testing.T) {
 	run := func() (uint64, uint64) {
-		c := NewCache(CacheConfig{
+		c := mustCache(CacheConfig{
 			Name: "d", CapacityBytes: 4 << 10, Associativity: 4, LineSize: 64,
 			HitLatency: 1, Replacement: Random,
 		})
@@ -106,7 +106,7 @@ func TestPolicyAffectsMissRate(t *testing.T) {
 	// A cyclic sweep slightly larger than capacity is the classic LRU
 	// pathology: LRU gets zero hits, Random keeps some fraction resident.
 	sweep := func(p Policy) (hits uint64) {
-		c := NewCache(CacheConfig{
+		c := mustCache(CacheConfig{
 			Name: "s", CapacityBytes: 4 << 10, Associativity: 4, LineSize: 64,
 			HitLatency: 1, Replacement: p,
 		})
@@ -127,7 +127,7 @@ func TestPolicyAffectsMissRate(t *testing.T) {
 
 func TestNextLinePrefetchHalvesStridedMisses(t *testing.T) {
 	sweep := func(prefetch bool) (misses, fills uint64) {
-		c := NewCache(CacheConfig{
+		c := mustCache(CacheConfig{
 			Name: "p", CapacityBytes: 64 << 10, Associativity: 4, LineSize: 64,
 			HitLatency: 1, NextLinePrefetch: prefetch,
 		})
@@ -151,7 +151,7 @@ func TestNextLinePrefetchHalvesStridedMisses(t *testing.T) {
 }
 
 func TestPrefetchDoesNotCountAsDemand(t *testing.T) {
-	c := NewCache(CacheConfig{
+	c := mustCache(CacheConfig{
 		Name: "p2", CapacityBytes: 1 << 10, Associativity: 2, LineSize: 64,
 		HitLatency: 1, NextLinePrefetch: true,
 	})
@@ -169,7 +169,7 @@ func TestPrefetchDoesNotCountAsDemand(t *testing.T) {
 }
 
 func TestPrefetchIdempotentWhenResident(t *testing.T) {
-	c := NewCache(CacheConfig{
+	c := mustCache(CacheConfig{
 		Name: "p3", CapacityBytes: 1 << 10, Associativity: 2, LineSize: 64,
 		HitLatency: 1, NextLinePrefetch: true,
 	})

@@ -1,0 +1,76 @@
+// Package fingerprint builds short deterministic digests of structured
+// results. The self-check harness (internal/invariant) compares pipeline
+// outputs across metamorphic variants — permuted binary order, different
+// worker-pool sizes — by fingerprint: two results are treated as
+// bit-identical exactly when their digests match, with float fields
+// hashed by their IEEE-754 bit patterns so "close" never passes for
+// "equal".
+package fingerprint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"math"
+)
+
+// Hasher accumulates typed fields into an FNV-1a digest. Field order
+// matters; writers must feed fields in a fixed documented order. The
+// zero value is not usable — call New.
+type Hasher struct {
+	h   hash.Hash64
+	buf [8]byte
+}
+
+// New returns an empty hasher.
+func New() *Hasher {
+	return &Hasher{h: fnv.New64a()}
+}
+
+// Uint64 mixes one 64-bit value.
+func (h *Hasher) Uint64(v uint64) {
+	binary.LittleEndian.PutUint64(h.buf[:], v)
+	_, _ = h.h.Write(h.buf[:])
+}
+
+// Int mixes one signed integer.
+func (h *Hasher) Int(v int) { h.Uint64(uint64(int64(v))) }
+
+// Float64 mixes one float by its exact bit pattern (NaNs collapse to a
+// single canonical pattern so a NaN-producing bug still fingerprints
+// deterministically).
+func (h *Hasher) Float64(v float64) {
+	bits := math.Float64bits(v)
+	if v != v {
+		bits = math.Float64bits(math.NaN())
+	}
+	h.Uint64(bits)
+}
+
+// String mixes a length-prefixed string.
+func (h *Hasher) String(s string) {
+	h.Int(len(s))
+	_, _ = h.h.Write([]byte(s))
+}
+
+// Ints mixes a length-prefixed int slice.
+func (h *Hasher) Ints(vs []int) {
+	h.Int(len(vs))
+	for _, v := range vs {
+		h.Int(v)
+	}
+}
+
+// Float64s mixes a length-prefixed float slice.
+func (h *Hasher) Float64s(vs []float64) {
+	h.Int(len(vs))
+	for _, v := range vs {
+		h.Float64(v)
+	}
+}
+
+// Sum returns the digest as a fixed-width hex string.
+func (h *Hasher) Sum() string {
+	return fmt.Sprintf("%016x", h.h.Sum64())
+}

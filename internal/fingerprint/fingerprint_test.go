@@ -1,0 +1,53 @@
+package fingerprint
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterministicAndOrderSensitive(t *testing.T) {
+	digest := func(feed func(*Hasher)) string {
+		h := New()
+		feed(h)
+		return h.Sum()
+	}
+	a := digest(func(h *Hasher) { h.Int(1); h.Int(2); h.String("x") })
+	b := digest(func(h *Hasher) { h.Int(1); h.Int(2); h.String("x") })
+	if a != b {
+		t.Fatalf("same fields, different digests: %s vs %s", a, b)
+	}
+	c := digest(func(h *Hasher) { h.Int(2); h.Int(1); h.String("x") })
+	if a == c {
+		t.Fatal("field order did not change the digest")
+	}
+}
+
+func TestFloatBitExactness(t *testing.T) {
+	digest := func(v float64) string {
+		h := New()
+		h.Float64(v)
+		return h.Sum()
+	}
+	if digest(1.0) == digest(1.0+1e-9) {
+		t.Fatal("nearby floats collided")
+	}
+	// All NaN payloads hash alike; +0 and -0 do not.
+	if digest(math.NaN()) != digest(math.Float64frombits(0x7FF8000000000001)) {
+		t.Fatal("NaN payloads hash differently")
+	}
+	if digest(0.0) == digest(math.Copysign(0, -1)) {
+		t.Fatal("+0 and -0 collided")
+	}
+}
+
+func TestSliceLengthPrefixed(t *testing.T) {
+	h1 := New()
+	h1.Ints([]int{1, 2})
+	h1.Ints(nil)
+	h2 := New()
+	h2.Ints([]int{1})
+	h2.Ints([]int{2})
+	if h1.Sum() == h2.Sum() {
+		t.Fatal("slice boundaries not captured")
+	}
+}

@@ -1,0 +1,113 @@
+package invariant
+
+import (
+	"testing"
+
+	"xbsim"
+	"xbsim/internal/exec"
+	"xbsim/internal/program"
+)
+
+// fuzzSpec decodes arbitrary fuzz bytes into a canonical spec with the
+// operation count wrapped into a fast range, so each fuzz execution
+// stays well under a second while still varying scale.
+func fuzzSpec(data []byte) program.Spec {
+	s := program.SpecFromBytes(data)
+	s.TargetOps = 60_000 + s.TargetOps%120_001
+	return s.Normalize()
+}
+
+func fuzzInput(s program.Spec) xbsim.Input {
+	return xbsim.Input{Name: "selfcheck", Seed: 0x5EED ^ s.Variant}
+}
+
+// FuzzMapping feeds arbitrary spec encodings through program synthesis,
+// compilation, and mappable-point discovery, then checks the §3.2
+// guarantees: every mappable point fires exactly its recorded count in
+// every binary, and the point set (per binary) is bit-identical when
+// the non-primary binaries are permuted.
+func FuzzMapping(f *testing.F) {
+	for i := 0; i < 6; i++ {
+		f.Add(program.RandomSpec(1, i).Encode())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := fuzzSpec(data)
+		bench, err := xbsim.NewBenchmarkFromSpec(s)
+		if err != nil {
+			t.Fatalf("spec %+v: %v", s, err)
+		}
+		in := fuzzInput(s)
+		mapped, err := xbsim.FindMappablePoints(bench.Binaries, in, xbsim.MappingOptions{})
+		if err != nil {
+			t.Fatalf("spec %s: mapping: %v", s.Name(), err)
+		}
+		for bi, bin := range bench.Binaries {
+			mc := exec.NewMarkerCounter(bin)
+			if err := exec.Run(bin, in, mc); err != nil {
+				t.Fatal(err)
+			}
+			for _, pt := range mapped.Points {
+				if got := mc.Counts[pt.Markers[bi]]; got != pt.Count {
+					t.Fatalf("spec %s: point %q fired %d times in %s, recorded %d",
+						s.Name(), pt.Name, got, bin.Name, pt.Count)
+				}
+			}
+		}
+
+		// Permute the non-primary binaries; per-binary views must agree.
+		perm := []*xbsim.Binary{bench.Binaries[0]}
+		for i := len(bench.Binaries) - 1; i >= 1; i-- {
+			perm = append(perm, bench.Binaries[i])
+		}
+		mapped2, err := xbsim.FindMappablePoints(perm, in, xbsim.MappingOptions{})
+		if err != nil {
+			t.Fatalf("spec %s: permuted mapping: %v", s.Name(), err)
+		}
+		if len(mapped2.Points) != len(mapped.Points) {
+			t.Fatalf("spec %s: %d points under permuted order, baseline %d",
+				s.Name(), len(mapped2.Points), len(mapped.Points))
+		}
+		for b2, bin := range perm {
+			b := 0
+			for i, orig := range bench.Binaries {
+				if orig == bin {
+					b = i
+					break
+				}
+			}
+			if got, want := mapped2.FingerprintFor(b2), mapped.FingerprintFor(b); got != want {
+				t.Fatalf("spec %s: %s mapping fingerprint %s under permuted order, baseline %s",
+					s.Name(), bin.Name, got, want)
+			}
+		}
+	})
+}
+
+// FuzzCrossBinaryPoints runs the full cross-binary pipeline on
+// arbitrary spec encodings and checks the boundary-translation and
+// weight-distribution invariants on the result.
+func FuzzCrossBinaryPoints(f *testing.F) {
+	for i := 0; i < 6; i++ {
+		f.Add(program.RandomSpec(2, i).Encode())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := fuzzSpec(data)
+		bench, err := xbsim.NewBenchmarkFromSpec(s)
+		if err != nil {
+			t.Fatalf("spec %+v: %v", s, err)
+		}
+		in := fuzzInput(s)
+		cp, err := xbsim.CrossBinaryPoints(bench.Binaries, in, xbsim.PointsConfig{
+			IntervalSize: 8000, MaxK: 6, Workers: 1,
+		})
+		if err != nil {
+			t.Fatalf("spec %s: pipeline: %v", s.Name(), err)
+		}
+		if c := checkBoundaryTranslate(cp); !c.OK {
+			t.Fatalf("spec %s: %s: %s", s.Name(), c.Name, c.Detail)
+		}
+		if _, c := checkWeightSum(cp); !c.OK {
+			t.Fatalf("spec %s: %s: %s", s.Name(), c.Name, c.Detail)
+		}
+	})
+}

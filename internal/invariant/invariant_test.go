@@ -1,0 +1,117 @@
+package invariant
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"xbsim/internal/obs"
+	"xbsim/internal/program"
+)
+
+// small keeps harness tests fast: few programs, small ops.
+var small = Config{Programs: 3, Seed: 1, TargetOps: 120_000}
+
+func TestRunAllInvariantsGreen(t *testing.T) {
+	rep, err := Run(context.Background(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Programs) != small.Programs {
+		t.Fatalf("checked %d programs, want %d", len(rep.Programs), small.Programs)
+	}
+	for _, pr := range rep.Programs {
+		if pr.Err != "" {
+			t.Fatalf("program %d (%s): pipeline failed: %s", pr.Index, pr.Name, pr.Err)
+		}
+		if len(pr.Checks) != len(Invariants) {
+			t.Fatalf("program %d: %d checks, want %d", pr.Index, len(pr.Checks), len(Invariants))
+		}
+		for i, c := range pr.Checks {
+			if c.Name != Invariants[i] {
+				t.Fatalf("program %d check %d named %q, want %q", pr.Index, i, c.Name, Invariants[i])
+			}
+			if !c.OK {
+				t.Errorf("program %d (%s): %s failed: %s", pr.Index, pr.Name, c.Name, c.Detail)
+			}
+		}
+	}
+	if !rep.OK() {
+		t.Fatal("report not OK")
+	}
+}
+
+func TestRunWorkerCountInvariant(t *testing.T) {
+	cfg1, cfg4 := small, small
+	cfg1.Workers = 1
+	cfg4.Workers = 4
+	r1, err := Run(context.Background(), cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Run(context.Background(), cfg4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Programs, r4.Programs) {
+		t.Fatal("report differs between 1 and 4 harness workers")
+	}
+}
+
+func TestRunRecordsObservability(t *testing.T) {
+	o := obs.New()
+	cfg := small
+	cfg.Programs = 2
+	rep, err := Run(obs.With(context.Background(), o), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatal("report not OK")
+	}
+	if got := o.Metrics.Counter("selfcheck.pipeline.pass").Value(); got != 2 {
+		t.Fatalf("pipeline pass counter = %d, want 2", got)
+	}
+	for _, name := range Invariants {
+		if got := o.Metrics.Counter("selfcheck." + name + ".pass").Value(); got != 2 {
+			t.Fatalf("%s pass counter = %d, want 2", name, got)
+		}
+	}
+}
+
+func TestTallies(t *testing.T) {
+	rep := &Report{Programs: []ProgramResult{
+		{Name: "a", Checks: []Check{{Name: "marker-counts", OK: true}, {Name: "weight-sum", OK: false, Detail: "boom"}}},
+		{Name: "b", Err: "compile exploded"},
+	}}
+	if rep.OK() {
+		t.Fatal("report with failures reports OK")
+	}
+	byName := map[string]Tally{}
+	for _, tl := range rep.Tallies() {
+		byName[tl.Name] = tl
+	}
+	if tl := byName["marker-counts"]; tl.Pass != 1 || tl.Fail != 0 {
+		t.Fatalf("marker-counts tally %+v", tl)
+	}
+	if tl := byName["weight-sum"]; tl.Fail != 1 || !strings.Contains(tl.FirstFailure, "boom") {
+		t.Fatalf("weight-sum tally %+v", tl)
+	}
+	if tl := byName["pipeline"]; tl.Pass != 1 || tl.Fail != 1 || !strings.Contains(tl.FirstFailure, "compile exploded") {
+		t.Fatalf("pipeline tally %+v", tl)
+	}
+}
+
+func TestCheckProgramOpsOverride(t *testing.T) {
+	s := program.RandomSpec(9, 0)
+	cfg := small
+	cfg.TargetOps = 90_000
+	pr := CheckProgram(context.Background(), s, cfg)
+	if pr.Err != "" {
+		t.Fatalf("pipeline failed: %s", pr.Err)
+	}
+	if pr.Spec.TargetOps != 90_000 {
+		t.Fatalf("spec ops %d, want override 90000", pr.Spec.TargetOps)
+	}
+}

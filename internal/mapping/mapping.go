@@ -30,6 +30,7 @@ import (
 	"sort"
 
 	"xbsim/internal/compiler"
+	"xbsim/internal/fingerprint"
 	"xbsim/internal/obs"
 	"xbsim/internal/profile"
 )
@@ -429,6 +430,28 @@ func (r *Result) TranslateBoundary(from, to int, bd profile.Boundary) (profile.B
 			"mapping: marker %d of binary %s is not a mappable point", bd.Marker, r.Binaries[from].Name)
 	}
 	return profile.Boundary{Marker: r.Points[pi].Markers[to], Count: bd.Count}, nil
+}
+
+// FingerprintFor digests the point list as seen from binary b: each
+// point's kind, name, count, heuristic flag, and b's local marker ID,
+// in point order. The point order is deterministic and independent of
+// the binary list order, so the self-check harness compares this digest
+// across metamorphic runs that permute the non-primary binaries.
+func (r *Result) FingerprintFor(b int) string {
+	h := fingerprint.New()
+	h.Int(len(r.Points))
+	for _, pt := range r.Points {
+		h.Int(int(pt.Kind))
+		h.String(pt.Name)
+		h.Uint64(pt.Count)
+		h.Int(pt.Markers[b])
+		if pt.ViaHeuristic {
+			h.Int(1)
+		} else {
+			h.Int(0)
+		}
+	}
+	return h.Sum()
 }
 
 // TranslateEnds rewrites a whole boundary list between binaries.

@@ -111,7 +111,13 @@ func Generate(name string, cfg GenConfig) (*Program, error) {
 	if !ok {
 		return nil, fmt.Errorf("program: unknown benchmark %q (see Benchmarks())", name)
 	}
-	cfg = cfg.withDefaults()
+	return generate(name, tr, cfg.withDefaults())
+}
+
+// generate runs the generator for an arbitrary trait set — the shared
+// core of the fixed benchmark table (Generate) and randomized specs
+// (GenerateSpec).
+func generate(name string, tr traits, cfg GenConfig) (*Program, error) {
 	g := &generator{
 		name: name,
 		tr:   tr,

@@ -1,0 +1,315 @@
+package program
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"xbsim/internal/xrand"
+)
+
+// Spec is a fully-explicit generator configuration: the trait set the
+// fixed benchmark table hard-codes, in exported and serializable form,
+// plus scale. Specs are the substrate of the metamorphic self-check
+// harness (internal/invariant): they are drawn from a seeded
+// distribution (RandomSpec), round-tripped through a compact byte
+// encoding (Encode / SpecFromBytes) that doubles as the fuzz-corpus
+// format, and synthesized into programs (GenerateSpec) whose
+// cross-binary invariants are then checked mechanically.
+//
+// A Spec is only meaningful in canonical form; Normalize maps every
+// field into the generator's supported ranges. All constructors here
+// (RandomSpec, SpecFromBytes) return canonical specs.
+type Spec struct {
+	// Variant salts the generated program, so otherwise-identical trait
+	// sets still produce structurally distinct programs.
+	Variant uint64
+	// TargetOps is the approximate abstract operation count of a full
+	// run, as in GenConfig.
+	TargetOps uint64
+	// Behaviors is the number of distinct behavior procedures.
+	Behaviors int
+	// Segments is the number of top-level time segments in main.
+	Segments int
+	// FPFrac is the fraction of non-memory ops that are floating point,
+	// quantized to percents.
+	FPFrac float64
+	// MemFrac is the fraction of ops that access memory, quantized to
+	// percents.
+	MemFrac float64
+	// RandomMem is the probability a behavior uses pointer-chasing
+	// accesses, quantized to percents.
+	RandomMem float64
+	// WSLadder are candidate working-set sizes in bytes, each a power of
+	// two in [1KiB, 32MiB].
+	WSLadder []uint64
+	// Inlinees is the number of small O2-inlinable helper procedures.
+	Inlinees int
+	// AmbiguousPair makes two inlinee helpers share a trip count (the
+	// paper's N == M ambiguity); it requires Inlinees >= 2.
+	AmbiguousPair bool
+	// PDEStyle builds the applu-like solver structure that destroys
+	// mappability over large regions at O2.
+	PDEStyle bool
+}
+
+// Spec field ranges. Behaviors beyond maxSpecBehaviors add generation
+// and profiling cost without new structure; ops outside the window are
+// either too small to form intervals or needlessly slow for a harness
+// that runs dozens of programs.
+const (
+	minSpecOps       = 60_000
+	maxSpecOps       = 4_000_000
+	defaultSpecOps   = 250_000
+	maxSpecBehaviors = 16
+	maxSpecSegments  = 48
+	maxSpecInlinees  = 5
+	maxSpecLadder    = 5
+	minSpecWSLog2    = 10 // 1 KiB
+	maxSpecWSLog2    = 25 // 32 MiB
+)
+
+// Normalize returns the spec with every field wrapped into its valid
+// range (out-of-range values wrap around rather than saturate, so
+// arbitrary fuzz bytes still explore the whole space) and fractions
+// quantized to percents. Normalize is idempotent.
+func (s Spec) Normalize() Spec {
+	if s.TargetOps == 0 {
+		s.TargetOps = defaultSpecOps
+	}
+	s.TargetOps %= maxSpecOps + 1
+	if s.TargetOps < minSpecOps {
+		s.TargetOps += minSpecOps
+	}
+	s.Behaviors = wrapRange(s.Behaviors, 1, maxSpecBehaviors)
+	s.Segments = wrapRange(s.Segments, 1, maxSpecSegments)
+	s.FPFrac = wrapPct(s.FPFrac)
+	s.MemFrac = wrapPct(s.MemFrac)
+	s.RandomMem = wrapPct(s.RandomMem)
+	s.Inlinees = wrapRange(s.Inlinees, 0, maxSpecInlinees)
+	if len(s.WSLadder) == 0 {
+		s.WSLadder = []uint64{64 << 10}
+	}
+	if len(s.WSLadder) > maxSpecLadder {
+		s.WSLadder = s.WSLadder[:maxSpecLadder]
+	}
+	ladder := make([]uint64, len(s.WSLadder))
+	for i, ws := range s.WSLadder {
+		ladder[i] = uint64(1) << wrapRange(log2Floor(ws), minSpecWSLog2, maxSpecWSLog2)
+	}
+	s.WSLadder = ladder
+	if s.Inlinees < 2 {
+		s.AmbiguousPair = false
+	}
+	return s
+}
+
+// wrapRange maps v into [lo, hi] by wrapping (identity when already in
+// range).
+func wrapRange(v, lo, hi int) int {
+	span := hi - lo + 1
+	v = (v - lo) % span
+	if v < 0 {
+		v += span
+	}
+	return lo + v
+}
+
+// wrapPct quantizes a fraction to percents and wraps it into [0, 1].
+func wrapPct(f float64) float64 {
+	pct := int(f*100 + 0.5)
+	return float64(wrapRange(pct, 0, 100)) / 100
+}
+
+// log2Floor returns floor(log2(v)), with 0 for v == 0.
+func log2Floor(v uint64) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Validate reports the first field outside the generator's supported
+// ranges. Canonical specs (from Normalize) always validate.
+func (s Spec) Validate() error {
+	switch {
+	case s.TargetOps < minSpecOps || s.TargetOps > maxSpecOps:
+		return fmt.Errorf("program: spec ops %d outside [%d, %d]", s.TargetOps, minSpecOps, maxSpecOps)
+	case s.Behaviors < 1 || s.Behaviors > maxSpecBehaviors:
+		return fmt.Errorf("program: spec behaviors %d outside [1, %d]", s.Behaviors, maxSpecBehaviors)
+	case s.Segments < 1 || s.Segments > maxSpecSegments:
+		return fmt.Errorf("program: spec segments %d outside [1, %d]", s.Segments, maxSpecSegments)
+	case s.FPFrac < 0 || s.FPFrac > 1:
+		return fmt.Errorf("program: spec fp fraction %v outside [0, 1]", s.FPFrac)
+	case s.MemFrac < 0 || s.MemFrac > 1:
+		return fmt.Errorf("program: spec mem fraction %v outside [0, 1]", s.MemFrac)
+	case s.RandomMem < 0 || s.RandomMem > 1:
+		return fmt.Errorf("program: spec random-mem probability %v outside [0, 1]", s.RandomMem)
+	case len(s.WSLadder) == 0 || len(s.WSLadder) > maxSpecLadder:
+		return fmt.Errorf("program: spec working-set ladder has %d entries, want 1..%d", len(s.WSLadder), maxSpecLadder)
+	case s.Inlinees < 0 || s.Inlinees > maxSpecInlinees:
+		return fmt.Errorf("program: spec inlinees %d outside [0, %d]", s.Inlinees, maxSpecInlinees)
+	case s.AmbiguousPair && s.Inlinees < 2:
+		return fmt.Errorf("program: spec ambiguous pair needs >= 2 inlinees, have %d", s.Inlinees)
+	}
+	for i, ws := range s.WSLadder {
+		l := log2Floor(ws)
+		if ws != uint64(1)<<l || l < minSpecWSLog2 || l > maxSpecWSLog2 {
+			return fmt.Errorf("program: spec working set %d (%d bytes) not a power of two in [1KiB, 32MiB]", i, ws)
+		}
+	}
+	return nil
+}
+
+// RandomSpec draws the index-th spec of the seed's deterministic
+// distribution. The same (seed, index) always yields the same spec, and
+// every spec is canonical. The distribution deliberately covers the
+// structural corners of the fixed benchmark table: single-behavior
+// programs, behavior counts beyond the phase cap, ambiguous inlinee
+// pairs, and the applu-style PDE structure.
+func RandomSpec(seed uint64, index int) Spec {
+	rng := xrand.NewFromUint64(seed).SplitIndexed("program/spec", index)
+	s := Spec{
+		Variant:   rng.Uint64(),
+		TargetOps: minSpecOps + uint64(rng.Intn(10))*60_000,
+		Behaviors: rng.IntRange(1, maxSpecBehaviors),
+		Segments:  rng.IntRange(4, 40),
+		FPFrac:    float64(rng.IntRange(0, 90)) / 100,
+		MemFrac:   float64(rng.IntRange(5, 50)) / 100,
+		RandomMem: float64(rng.IntRange(0, 100)) / 100,
+		Inlinees:  rng.IntRange(0, maxSpecInlinees),
+		PDEStyle:  rng.Bool(0.15),
+	}
+	s.WSLadder = make([]uint64, rng.IntRange(1, maxSpecLadder))
+	for i := range s.WSLadder {
+		s.WSLadder[i] = uint64(1) << rng.IntRange(minSpecWSLog2, maxSpecWSLog2)
+	}
+	if s.Inlinees >= 2 {
+		s.AmbiguousPair = rng.Bool(0.4)
+	}
+	return s.Normalize()
+}
+
+// specMagic marks the first byte of an encoded spec; decoding tolerates
+// its absence so arbitrary fuzz inputs remain decodable.
+const (
+	specMagic   = 0x78 // 'x'
+	specVersion = 1
+)
+
+// Encode serializes the spec in the compact fixed-layout byte format
+// shared by the fuzz corpus. SpecFromBytes(s.Encode()) == s.Normalize().
+func (s Spec) Encode() []byte {
+	s = s.Normalize()
+	buf := make([]byte, 0, 26+len(s.WSLadder))
+	buf = append(buf, specMagic, specVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, s.Variant)
+	buf = binary.LittleEndian.AppendUint64(buf, s.TargetOps)
+	var flags byte
+	if s.AmbiguousPair {
+		flags |= 1
+	}
+	if s.PDEStyle {
+		flags |= 2
+	}
+	buf = append(buf,
+		byte(s.Behaviors),
+		byte(s.Segments),
+		byte(int(s.FPFrac*100+0.5)),
+		byte(int(s.MemFrac*100+0.5)),
+		byte(int(s.RandomMem*100+0.5)),
+		byte(s.Inlinees),
+		flags,
+		byte(len(s.WSLadder)),
+	)
+	for _, ws := range s.WSLadder {
+		buf = append(buf, byte(log2Floor(ws)))
+	}
+	return buf
+}
+
+// byteReader consumes an encoded spec, yielding zeros once exhausted so
+// every byte string — in particular fuzz-mutated ones — decodes.
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *byteReader) byte() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *byteReader) uint64() uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(r.byte()) << (8 * i)
+	}
+	return v
+}
+
+// SpecFromBytes decodes an encoded spec. It is a total function: any
+// byte string yields a canonical spec (missing fields default, wild
+// values wrap into range), which is what makes it usable as the decoder
+// in native fuzz targets. It inverts Encode on canonical specs.
+func SpecFromBytes(data []byte) Spec {
+	r := &byteReader{data: data}
+	if len(data) >= 2 && data[0] == specMagic {
+		r.pos = 2 // skip magic + version
+	}
+	s := Spec{
+		Variant:   r.uint64(),
+		TargetOps: r.uint64(),
+		Behaviors: int(r.byte()),
+		Segments:  int(r.byte()),
+		FPFrac:    float64(r.byte()) / 100,
+		MemFrac:   float64(r.byte()) / 100,
+		RandomMem: float64(r.byte()) / 100,
+		Inlinees:  int(r.byte()),
+	}
+	flags := r.byte()
+	s.AmbiguousPair = flags&1 != 0
+	s.PDEStyle = flags&2 != 0
+	n := wrapRange(int(r.byte()), 1, maxSpecLadder)
+	s.WSLadder = make([]uint64, n)
+	for i := range s.WSLadder {
+		s.WSLadder[i] = uint64(1) << wrapRange(int(r.byte()), minSpecWSLog2, maxSpecWSLog2)
+	}
+	return s.Normalize()
+}
+
+// Name returns the spec's deterministic program name, derived from its
+// canonical encoding.
+func (s Spec) Name() string {
+	h := fnv.New64a()
+	_, _ = h.Write(s.Encode())
+	return fmt.Sprintf("spec-%016x", h.Sum64())
+}
+
+// GenerateSpec synthesizes the program a spec describes. The same spec
+// always produces the identical program. Non-canonical specs are
+// normalized first.
+func GenerateSpec(s Spec) (*Program, error) {
+	s = s.Normalize()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	tr := traits{
+		behaviors:     s.Behaviors,
+		segments:      s.Segments,
+		fpFrac:        s.FPFrac,
+		memFrac:       s.MemFrac,
+		randomMem:     s.RandomMem,
+		wsLadder:      append([]uint64(nil), s.WSLadder...),
+		inlinees:      s.Inlinees,
+		ambiguousPair: s.AmbiguousPair,
+		pdeStyle:      s.PDEStyle,
+	}
+	return generate(s.Name(), tr, GenConfig{TargetOps: s.TargetOps}.withDefaults())
+}

@@ -1,0 +1,153 @@
+package program
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRandomSpecDeterministicAndCanonical(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		a := RandomSpec(7, i)
+		b := RandomSpec(7, i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("spec %d not deterministic:\n%+v\n%+v", i, a, b)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("spec %d invalid: %v", i, err)
+		}
+		if !reflect.DeepEqual(a, a.Normalize()) {
+			t.Fatalf("spec %d not canonical: %+v vs %+v", i, a, a.Normalize())
+		}
+	}
+	if reflect.DeepEqual(RandomSpec(7, 0), RandomSpec(8, 0)) {
+		t.Fatal("different seeds produced identical specs")
+	}
+	if reflect.DeepEqual(RandomSpec(7, 0), RandomSpec(7, 1)) {
+		t.Fatal("different indices produced identical specs")
+	}
+}
+
+func TestSpecEncodeRoundTrip(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		s := RandomSpec(3, i)
+		got := SpecFromBytes(s.Encode())
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("spec %d round trip:\nwant %+v\ngot  %+v", i, s, got)
+		}
+	}
+}
+
+func TestSpecFromBytesTotal(t *testing.T) {
+	// Any byte string — empty, short, garbage — must decode to a valid
+	// canonical spec: this is the property the fuzz targets rely on.
+	inputs := [][]byte{
+		nil,
+		{},
+		{0},
+		{0xFF},
+		{0x78, 0x01},
+		{0x78, 0x01, 0xFF, 0xFF, 0xFF},
+		make([]byte, 3),
+		make([]byte, 200),
+	}
+	for i := 0; i < 30; i++ {
+		b := RandomSpec(11, i).Encode()
+		b[len(b)-1] ^= 0xA5 // corrupt the tail
+		inputs = append(inputs, b)
+	}
+	for i, in := range inputs {
+		s := SpecFromBytes(in)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("input %d: decoded spec invalid: %v (%+v)", i, err, s)
+		}
+		if !reflect.DeepEqual(s, s.Normalize()) {
+			t.Fatalf("input %d: decoded spec not canonical", i)
+		}
+	}
+}
+
+func TestSpecNormalizeWraps(t *testing.T) {
+	s := Spec{
+		TargetOps: maxSpecOps + 123,
+		Behaviors: -3,
+		Segments:  1000,
+		FPFrac:    2.5,
+		MemFrac:   -0.2,
+		RandomMem: 1.7,
+		WSLadder:  []uint64{0, 3, 1 << 40, 777},
+		Inlinees:  99,
+	}
+	n := s.Normalize()
+	if err := n.Validate(); err != nil {
+		t.Fatalf("normalized spec invalid: %v (%+v)", err, n)
+	}
+	if !reflect.DeepEqual(n, n.Normalize()) {
+		t.Fatal("Normalize not idempotent")
+	}
+	if n.AmbiguousPair && n.Inlinees < 2 {
+		t.Fatal("ambiguous pair kept without enough inlinees")
+	}
+}
+
+func TestGenerateSpecDeterministicAndValid(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		s := RandomSpec(1, i)
+		p1, err := GenerateSpec(s)
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		p2, err := GenerateSpec(s)
+		if err != nil {
+			t.Fatalf("spec %d second generation: %v", i, err)
+		}
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("spec %d: generation not deterministic", i)
+		}
+		if err := p1.Validate(); err != nil {
+			t.Fatalf("spec %d: generated program invalid: %v", i, err)
+		}
+		if p1.Name != s.Name() {
+			t.Fatalf("spec %d: program name %q, want %q", i, p1.Name, s.Name())
+		}
+	}
+}
+
+func TestGenerateSpecDistinctPrograms(t *testing.T) {
+	names := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		names[RandomSpec(5, i).Name()] = true
+	}
+	if len(names) < 19 {
+		t.Fatalf("only %d distinct names over 20 random specs", len(names))
+	}
+}
+
+func TestGenerateSpecStructuralCorners(t *testing.T) {
+	base := RandomSpec(2, 0)
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"single-behavior", func(s *Spec) { s.Behaviors = 1; s.Segments = 1 }},
+		{"many-behaviors", func(s *Spec) { s.Behaviors = maxSpecBehaviors; s.Segments = 4 }},
+		{"ambiguous-pair", func(s *Spec) { s.Inlinees = 2; s.AmbiguousPair = true }},
+		{"pde-style", func(s *Spec) { s.PDEStyle = true }},
+		{"no-memory", func(s *Spec) { s.MemFrac = 0 }},
+		{"all-fp", func(s *Spec) { s.FPFrac = 1.0 }},
+		{"min-ops", func(s *Spec) { s.TargetOps = minSpecOps }},
+	}
+	for _, tc := range cases {
+		s := base
+		s.WSLadder = append([]uint64(nil), base.WSLadder...)
+		tc.mutate(&s)
+		s = s.Normalize()
+		p, err := GenerateSpec(s)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: program invalid: %v", tc.name, err)
+		}
+	}
+}

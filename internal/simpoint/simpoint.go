@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"xbsim/internal/bbv"
+	"xbsim/internal/fingerprint"
 	"xbsim/internal/kmeans"
 	"xbsim/internal/obs"
 	"xbsim/internal/pool"
@@ -111,6 +112,28 @@ type Result struct {
 	// BICByK records the raw BIC score for each k examined (index k-1),
 	// for diagnostics and ablation studies.
 	BICByK []float64
+}
+
+// Fingerprint returns a digest of the complete analysis — chosen k,
+// every point (interval, phase, weight bits, length), the per-interval
+// phase labels, phase weights, and the BIC curve. Two runs are
+// bit-identical exactly when their fingerprints match; the self-check
+// harness uses this to pin the determinism guarantees (same result for
+// any worker-pool size, any binary-list permutation).
+func (r *Result) Fingerprint() string {
+	h := fingerprint.New()
+	h.Int(r.K)
+	h.Int(len(r.Points))
+	for _, p := range r.Points {
+		h.Int(p.Interval)
+		h.Int(p.Phase)
+		h.Float64(p.Weight)
+		h.Uint64(p.Instructions)
+	}
+	h.Ints(r.PhaseOf)
+	h.Float64s(r.PhaseWeights)
+	h.Float64s(r.BICByK)
+	return h.Sum()
 }
 
 // Pick runs the SimPoint pipeline over the dataset.

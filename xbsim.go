@@ -44,6 +44,7 @@ import (
 	"xbsim/internal/compiler"
 	"xbsim/internal/exec"
 	"xbsim/internal/experiment"
+	"xbsim/internal/fingerprint"
 	"xbsim/internal/mapping"
 	"xbsim/internal/markerstats"
 	"xbsim/internal/obs"
@@ -73,6 +74,9 @@ type (
 	Profile = profile.Profile
 	// MappingResult is the cross-binary mappable point set.
 	MappingResult = mapping.Result
+	// Boundary is a variable-length-interval end point: a mappable marker
+	// plus its execution count at the cut.
+	Boundary = profile.Boundary
 	// MappingOptions tunes mappable-point discovery.
 	MappingOptions = mapping.Options
 	// Stats is a simulation result (CPI, cache behavior).
@@ -131,6 +135,34 @@ func CompileAll(p *Program) ([]*Binary, error) {
 // Benchmarks returns the names of the synthesizable SPEC2000-like
 // benchmarks (the paper's 21-program subset).
 func Benchmarks() []string { return program.Benchmarks() }
+
+// Spec is a randomized benchmark-generator configuration: a compact,
+// canonical description of a synthetic program beyond the fixed
+// benchmark table. Specs drive the metamorphic self-check harness and
+// the fuzz targets.
+type Spec = program.Spec
+
+// RandomSpec draws the index-th spec from the seeded deterministic
+// distribution. The same (seed, index) always yields the same spec.
+func RandomSpec(seed uint64, index int) Spec { return program.RandomSpec(seed, index) }
+
+// SpecFromBytes decodes an arbitrary byte string into a valid canonical
+// spec; it is total, so fuzzers can feed it anything.
+func SpecFromBytes(data []byte) Spec { return program.SpecFromBytes(data) }
+
+// NewBenchmarkFromSpec generates the spec's synthetic program and
+// compiles all four targets, like NewBenchmark for randomized specs.
+func NewBenchmarkFromSpec(s Spec) (*Benchmark, error) {
+	prog, err := program.GenerateSpec(s)
+	if err != nil {
+		return nil, err
+	}
+	bins, err := compiler.CompileAll(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &Benchmark{Program: prog, Binaries: bins}, nil
+}
 
 // Table1 returns the paper's memory system configuration.
 func Table1() HierarchyConfig { return cmpsim.DefaultHierarchyConfig() }
@@ -296,6 +328,32 @@ func (ps *PointSet) NumPoints() int {
 	return n
 }
 
+// Fingerprint digests everything that determines the point set's
+// simulation behavior: flavor, weights (by exact float bits), chosen
+// intervals, phase labels, and the interval boundaries. Two point sets
+// drive identical sampled simulations exactly when their fingerprints
+// match; the self-check harness compares fingerprints across
+// metamorphic pipeline variants (permuted binary order, different
+// worker counts).
+func (ps *PointSet) Fingerprint() string {
+	h := fingerprint.New()
+	h.String(string(ps.Flavor))
+	h.Uint64(ps.intervalSize)
+	h.Float64s(ps.Weights)
+	h.Ints(ps.PointInterval)
+	h.Ints(ps.PhaseOf)
+	h.Int(len(ps.fliEnds))
+	for _, e := range ps.fliEnds {
+		h.Uint64(e)
+	}
+	h.Int(len(ps.vliEnds))
+	for _, e := range ps.vliEnds {
+		h.Int(e.Marker)
+		h.Uint64(e.Count)
+	}
+	return h.Sum()
+}
+
 // PerBinaryPoints runs classic per-binary SimPoint on the binary: fixed
 // length intervals, BBV clustering, one representative per phase (§2).
 func PerBinaryPoints(bin *Binary, in Input, cfg PointsConfig) (*PointSet, error) {
@@ -408,11 +466,55 @@ func (cp *CrossPoints) K() int { return cp.pick.K }
 // NumIntervals returns the shared interval count.
 func (cp *CrossPoints) NumIntervals() int { return len(cp.primaryEnds) }
 
+// Ends returns a copy of the variable-length-interval boundaries in the
+// primary binary's marker space. Every boundary is a mappable marker
+// plus its execution count, translatable to any binary via the Mapping.
+func (cp *CrossPoints) Ends() []Boundary {
+	return append([]Boundary(nil), cp.primaryEnds...)
+}
+
+// PhaseOf returns a copy of the per-interval phase labels.
+func (cp *CrossPoints) PhaseOf() []int {
+	return append([]int(nil), cp.pick.PhaseOf...)
+}
+
+// PointIntervals returns the representative interval per phase (-1 when
+// a phase has no representative).
+func (cp *CrossPoints) PointIntervals() []int {
+	return pointIntervals(cp.pick)
+}
+
+// Fingerprint digests the complete cross-binary analysis: the clustering
+// result, the primary-binary interval boundaries, and the per-binary
+// mapping views. Because the clustering runs only on the primary binary
+// and point order is binary-order independent, the fingerprint is
+// bit-identical across runs with any Workers value.
+func (cp *CrossPoints) Fingerprint() string {
+	h := fingerprint.New()
+	h.Int(cp.Primary)
+	h.Uint64(cp.intervalSize)
+	h.String(cp.pick.Fingerprint())
+	h.Int(len(cp.primaryEnds))
+	for _, e := range cp.primaryEnds {
+		h.Int(e.Marker)
+		h.Uint64(e.Count)
+	}
+	h.Int(len(cp.Mapping.Binaries))
+	for b := range cp.Mapping.Binaries {
+		h.String(cp.Mapping.Binaries[b].Name)
+		h.String(cp.Mapping.FingerprintFor(b))
+	}
+	return h.Sum()
+}
+
 // ForBinary maps the simulation points into binary b's marker space and
 // recalculates the phase weights by counting the instructions each phase
 // executes in that binary (§3.2.5-§3.2.6). The returned PointSet is ready
 // for EstimateCPI.
 func (cp *CrossPoints) ForBinary(b int) (*PointSet, error) {
+	if b < 0 || b >= len(cp.Mapping.Binaries) {
+		return nil, fmt.Errorf("xbsim: binary index %d out of range [0,%d)", b, len(cp.Mapping.Binaries))
+	}
 	bin := cp.Mapping.Binaries[b]
 	ends, err := cp.Mapping.TranslateEnds(cp.Primary, b, cp.primaryEnds)
 	if err != nil {
