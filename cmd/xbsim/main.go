@@ -34,6 +34,7 @@ import (
 	"xbsim/internal/bbv"
 	"xbsim/internal/callloop"
 	"xbsim/internal/experiment"
+	"xbsim/internal/faults"
 	"xbsim/internal/invariant"
 	"xbsim/internal/markerstats"
 	"xbsim/internal/obs"
@@ -208,6 +209,8 @@ func run(ctx context.Context, command string, args []string, w io.Writer) error 
 		return cmdVerify(args, w)
 	case "selfcheck":
 		return cmdSelfcheck(ctx, args, w)
+	case "chaos":
+		return cmdChaos(ctx, args, w)
 	case "callgraph":
 		return cmdCallgraph(args, w)
 	case "phases":
@@ -246,6 +249,10 @@ commands:
   selfcheck [-n N] [-seed S] [-workers W]
                                      metamorphic self-check: N randomized
                                      programs through the full pipeline
+  chaos    [-programs N] [-seed S] [-faults F] [-retries R]
+                                     run randomized programs under injected
+                                     fault schedules; recovered runs must be
+                                     bit-identical to the fault-free baseline
   callgraph -bench B [-target T]     annotated call-loop graph
   phases   -bench B [-flavor F]      phase timeline of the execution
   similarity -bench B [-target T]    interval similarity heat map
@@ -508,6 +515,10 @@ func cmdFigures(ctx context.Context, args []string, w io.Writer) error {
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of the ASCII report")
 	detail := fs.Bool("detail", false, "emit per-benchmark detail (per-binary tables, speedups, phase timeline)")
 	workers := fs.Int("workers", 0, "intra-benchmark worker pool size (0 = GOMAXPROCS, 1 = serial; never changes the numbers)")
+	retries := fs.Int("retries", 0, "retry budget per pipeline stage for transient failures (0 = fail fast)")
+	stageTimeout := fs.Duration("stage-timeout", 0, "per-stage deadline; expiries are retried under -retries (0 = none)")
+	ckptDir := fs.String("checkpoint-dir", "", "persist per-benchmark checkpoints here and resume from validating ones")
+	inject := fs.String("inject", "", "fault rules to inject, comma-separated stage@index:kind[:duration] (testing)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -519,32 +530,57 @@ func cmdFigures(ctx context.Context, args []string, w io.Writer) error {
 		cfg.Benchmarks = strings.Split(*benchList, ",")
 	}
 	cfg.Workers = *workers
+	cfg.Retry = xbsim.RetryPolicy{MaxRetries: *retries}
+	cfg.StageTimeout = *stageTimeout
+	cfg.CheckpointDir = *ckptDir
+	if *inject != "" {
+		rules, err := faults.ParseRules(*inject)
+		if err != nil {
+			return usageError{err}
+		}
+		ctx = faults.With(ctx, faults.NewInjector(rules...))
+	}
 	if *only == "table1" {
 		return report.Table1(w, cfg.Hierarchy)
 	}
 	suite, err := xbsim.RunExperimentsCtx(ctx, cfg)
 	if err != nil {
+		// Degrade gracefully: when some benchmarks completed, render the
+		// partial suite — its report carries an explicit failure
+		// appendix — and still exit non-zero.
+		if suite == nil || len(suite.Results) == 0 {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "xbsim: %d benchmark(s) failed, reporting partial results\n", len(suite.Failures))
+		if rerr := renderSuite(ctx, w, suite, *asJSON, *detail, *only); rerr != nil {
+			return rerr
+		}
 		return err
 	}
-	if *asJSON {
-		if *only != "" {
+	return renderSuite(ctx, w, suite, *asJSON, *detail, *only)
+}
+
+// renderSuite writes the suite in the format the figures flags selected.
+func renderSuite(ctx context.Context, w io.Writer, suite *xbsim.Suite, asJSON, detail bool, only string) error {
+	if asJSON {
+		if only != "" {
 			return usagef("-json emits the whole suite; drop -only")
 		}
 		return suite.WriteJSON(w)
 	}
-	if *detail {
+	if detail {
 		return report.SuiteDetail(w, suite)
 	}
-	switch *only {
+	switch only {
 	case "":
 		return xbsim.WriteReportCtx(ctx, w, suite)
 	case "fig1", "fig2", "fig3", "fig4", "fig5":
 		for _, f := range suite.Figures() {
-			if f.ID == *only {
+			if f.ID == only {
 				return report.Figure(w, f)
 			}
 		}
-		return fmt.Errorf("figure %q not produced", *only)
+		return fmt.Errorf("figure %q not produced", only)
 	case "table2":
 		tables, err := suite.PhaseBiasTables("gcc", experiment.Pair{Name: "32u64u", A: 0, B: 2}, 3)
 		if err != nil {
@@ -558,7 +594,7 @@ func cmdFigures(ctx context.Context, args []string, w io.Writer) error {
 		}
 		return report.PhaseBias(w, tables)
 	default:
-		return usagef("unknown artifact %q", *only)
+		return usagef("unknown artifact %q", only)
 	}
 }
 

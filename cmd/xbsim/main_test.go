@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -302,6 +303,80 @@ func TestCmdSelfcheckUsageErrors(t *testing.T) {
 	}
 	if err := run(context.Background(), "selfcheck", []string{"-nope"}, &sb); !errors.As(err, &ue) {
 		t.Errorf("undefined flag: err = %v (%T), want usageError", err, err)
+	}
+}
+
+// chaos must recover every randomized fault schedule (or tolerate an
+// exhausted retry budget) and report zero fingerprint mismatches.
+func TestCmdChaos(t *testing.T) {
+	out := runCmd(t, "chaos", "-programs", "2", "-seed", "1", "-faults", "2", "-ops", "90000")
+	if !strings.Contains(out, "chaos: 2 programs, seed 1") {
+		t.Fatalf("chaos header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0 mismatched") || strings.Contains(out, "FAIL") {
+		t.Fatalf("chaos reported a divergence:\n%s", out)
+	}
+}
+
+func TestCmdChaosFixedRules(t *testing.T) {
+	out := runCmd(t, "chaos", "-programs", "1", "-seed", "1", "-ops", "90000",
+		"-inject", "profile.task@1:panic,mapping@0:error")
+	if !strings.Contains(out, "bit-identical after 2 faults") {
+		t.Fatalf("fixed fault rules not recovered:\n%s", out)
+	}
+}
+
+func TestCmdChaosUsageErrors(t *testing.T) {
+	var sb strings.Builder
+	var ue usageError
+	if err := run(context.Background(), "chaos", []string{"-programs", "0"}, &sb); !errors.As(err, &ue) {
+		t.Errorf("-programs 0: err = %v (%T), want usageError", err, err)
+	}
+	if err := run(context.Background(), "chaos", []string{"-inject", "bogus"}, &sb); !errors.As(err, &ue) {
+		t.Errorf("bad -inject: err = %v (%T), want usageError", err, err)
+	}
+}
+
+// Injected transient faults plus a retry budget must leave the report
+// byte-identical to an undisturbed run.
+func TestCmdFiguresInjectRecovers(t *testing.T) {
+	plain := runCmd(t, "figures", "-quick", "-benchmarks", "swim", "-only", "fig4")
+	faulted := runCmd(t, "figures", "-quick", "-benchmarks", "swim", "-only", "fig4",
+		"-retries", "2", "-inject", "profile@0:error,clustering.task@1:panic")
+	if faulted != plain {
+		t.Fatalf("faulted report diverged:\n--- plain ---\n%s\n--- faulted ---\n%s", plain, faulted)
+	}
+}
+
+// A failing benchmark must still render the completed ones, with the
+// explicit failure appendix, and exit non-zero.
+func TestCmdFiguresPartialSuite(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(), "figures", []string{"-quick", "-benchmarks", "swim,nosuch"}, &sb)
+	if err == nil {
+		t.Fatal("suite with unknown benchmark reported success")
+	}
+	out := sb.String()
+	if !strings.Contains(out, "FAILED BENCHMARKS (1)") || !strings.Contains(out, "nosuch") {
+		t.Fatalf("failure appendix missing:\n%s", out)
+	}
+	if !strings.Contains(out, "swim") {
+		t.Fatalf("completed benchmark missing from partial report:\n%s", out)
+	}
+}
+
+// -checkpoint-dir must make a rerun resume from checkpoints and emit
+// byte-identical JSON.
+func TestCmdFiguresCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-quick", "-benchmarks", "swim", "-json", "-checkpoint-dir", dir}
+	first := runCmd(t, "figures", args...)
+	if _, err := os.Stat(filepath.Join(dir, "swim.ckpt.json")); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	resumed := runCmd(t, "figures", args...)
+	if resumed != first {
+		t.Fatalf("resumed JSON diverged:\n--- first ---\n%.400s\n--- resumed ---\n%.400s", first, resumed)
 	}
 }
 

@@ -1,0 +1,99 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"xbsim/internal/compiler"
+)
+
+// cancelAfter cancels its context after n dynamic blocks — a test
+// visitor that cancels mid-walk, deterministically.
+type cancelAfter struct {
+	cancel context.CancelFunc
+	n      int
+}
+
+func (c *cancelAfter) OnBlock(int) {
+	c.n--
+	if c.n == 0 {
+		c.cancel()
+	}
+}
+
+func (c *cancelAfter) OnMarker(int) {}
+
+// Cancelling mid-walk must abort the execution promptly with a wrapped
+// context.Canceled instead of walking the remaining billions of blocks.
+func TestRunCtxCancelMidWalk(t *testing.T) {
+	prog := smallProgram(t, "gcc")
+	bins, err := compiler.CompileAll(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := bins[0]
+
+	full := NewInstructionCounter(bin)
+	if err := Run(bin, refInput, full); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ic := NewInstructionCounter(bin)
+	err = RunCtx(ctx, bin, refInput, Multi{&cancelAfter{cancel: cancel, n: 100}, ic})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx after mid-walk cancel = %v, want wrapped context.Canceled", err)
+	}
+	// Prompt abort: the checker polls every 4096 blocks, so the walk
+	// must have stopped far short of the full run.
+	if full.BlockExecs < 3*4096 {
+		t.Skipf("program too small to observe an early abort (%d blocks)", full.BlockExecs)
+	}
+	if ic.BlockExecs > full.BlockExecs/2 {
+		t.Fatalf("walk ran %d of %d blocks after cancellation", ic.BlockExecs, full.BlockExecs)
+	}
+}
+
+// A context that is already done must fail before the walk starts.
+func TestRunCtxPreCancelled(t *testing.T) {
+	prog := smallProgram(t, "mcf")
+	bins, err := compiler.CompileAll(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ic := NewInstructionCounter(bins[0])
+	if err := RunCtx(ctx, bins[0], refInput, ic); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx on cancelled context = %v, want wrapped context.Canceled", err)
+	}
+	if ic.BlockExecs != 0 {
+		t.Fatalf("walk executed %d blocks on a cancelled context", ic.BlockExecs)
+	}
+}
+
+// A cancelable-but-live context must not change the execution.
+func TestRunCtxCancelableMatchesPlainRun(t *testing.T) {
+	prog := smallProgram(t, "swim")
+	bins, err := compiler.CompileAll(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := bins[0]
+	plain := NewInstructionCounter(bin)
+	if err := Run(bin, refInput, plain); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	withCtx := NewInstructionCounter(bin)
+	if err := RunCtx(ctx, bin, refInput, withCtx); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Instructions != withCtx.Instructions || plain.BlockExecs != withCtx.BlockExecs {
+		t.Fatalf("cancelable run diverged: %d/%d vs %d/%d instructions/blocks",
+			withCtx.Instructions, withCtx.BlockExecs, plain.Instructions, plain.BlockExecs)
+	}
+}

@@ -130,31 +130,76 @@ func Run(bin *compiler.Binary, in program.Input, v Visitor) error {
 	return r.Run(v)
 }
 
-// RunCtx is Run with observability: when the context carries an observer
-// it wraps the execution in an "exec.run" span and flushes aggregate
-// instruction/block/marker tallies into the metrics registry afterwards.
-// Without an observer it is exactly Run — the hot loop is never
+// RunCtx is Run with observability and cancellation: when the context
+// carries an observer it wraps the execution in an "exec.run" span and
+// flushes aggregate instruction/block/marker tallies into the metrics
+// registry afterwards, and when the context is cancelable the walk is
+// aborted promptly — within a few thousand blocks — once the context is
+// done, returning the wrapped context error. With a Background-derived
+// context and no observer it is exactly Run — the hot loop is never
 // instrumented per event, so the default path costs nothing.
-func RunCtx(ctx context.Context, bin *compiler.Binary, in program.Input, v Visitor) error {
+func RunCtx(ctx context.Context, bin *compiler.Binary, in program.Input, v Visitor) (err error) {
 	o := obs.From(ctx)
-	if o == nil {
-		return Run(bin, in, v)
+	if o != nil {
+		var span *obs.Span
+		_, span = obs.StartSpan(ctx, "exec.run")
+		span.Annotate(bin.Name)
+		defer span.End()
 	}
-	_, span := obs.StartSpan(ctx, "exec.run")
-	span.Annotate(bin.Name)
-	defer span.End()
-	if o.Metrics == nil {
+	if ctx.Done() != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("exec %s: %w", bin.Name, cerr)
+		}
+		// Visitors cannot return errors, so the checker aborts the walk
+		// with a sentinel panic recovered here — cancellation never
+		// unwinds past this frame.
+		defer func() {
+			if r := recover(); r != nil {
+				stop, ok := r.(execStop)
+				if !ok {
+					panic(r)
+				}
+				err = fmt.Errorf("exec %s: %w", bin.Name, stop.err)
+			}
+		}()
+		v = Multi{&cancelChecker{ctx: ctx}, v}
+	}
+	if o == nil || o.Metrics == nil {
 		return Run(bin, in, v)
 	}
 	ic := NewInstructionCounter(bin)
 	var markers markerTally
-	err := Run(bin, in, Multi{v, ic, &markers})
+	err = Run(bin, in, Multi{v, ic, &markers})
 	o.Counter("exec.runs").Inc()
 	o.Counter("exec.instructions").Add(ic.Instructions)
 	o.Counter("exec.blocks").Add(ic.BlockExecs)
 	o.Counter("exec.markers").Add(uint64(markers))
 	return err
 }
+
+// execStop is the sentinel the cancellation checker panics with.
+type execStop struct{ err error }
+
+// cancelChecker polls the context every few thousand dynamic blocks and
+// aborts the walk when it is done. The power-of-two stride keeps the
+// per-block cost to an increment and a mask.
+type cancelChecker struct {
+	ctx context.Context
+	n   uint
+}
+
+// OnBlock implements Visitor.
+func (c *cancelChecker) OnBlock(int) {
+	c.n++
+	if c.n&0xFFF == 0 {
+		if err := c.ctx.Err(); err != nil {
+			panic(execStop{err})
+		}
+	}
+}
+
+// OnMarker implements Visitor.
+func (c *cancelChecker) OnMarker(int) {}
 
 // markerTally counts marker firings with no per-block work.
 type markerTally uint64

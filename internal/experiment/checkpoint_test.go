@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"testing"
+
+	"xbsim/internal/obs"
+)
+
+// A checkpoint must round-trip a result so that the reload fingerprints
+// identically — including NaN point CPIs, which plain JSON cannot carry.
+func TestCheckpointRoundTrip(t *testing.T) {
+	res, err := RunBenchmark("mcf", testConfig("mcf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cfgFP := testConfig("mcf").fingerprint()
+	if err := saveCheckpoint(dir, res, cfgFP); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadCheckpoint(dir, "mcf", cfgFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.Fingerprint(), res.Fingerprint(); got != want {
+		t.Fatalf("reloaded fingerprint %s != saved %s", got, want)
+	}
+	if loaded.Runs[0].Binary.Name != res.Runs[0].Binary.Name {
+		t.Fatalf("binary name lost: %q", loaded.Runs[0].Binary.Name)
+	}
+
+	// Absent checkpoint: the sentinel, so callers can tell "never ran"
+	// from "ran but invalid".
+	if _, err := loadCheckpoint(dir, "gzip", cfgFP); !errors.Is(err, errNoCheckpoint) {
+		t.Fatalf("missing checkpoint: %v, want errNoCheckpoint", err)
+	}
+	// A checkpoint from a different configuration must not validate.
+	other := testConfig("mcf")
+	other.Seed = "other"
+	if _, err := loadCheckpoint(dir, "mcf", other.fingerprint()); err == nil || errors.Is(err, errNoCheckpoint) {
+		t.Fatalf("config mismatch: %v, want validation error", err)
+	}
+}
+
+// An interrupted suite must resume: already-checkpointed benchmarks are
+// loaded, the rest computed, and the combined suite is bit-identical to
+// an uninterrupted run.
+func TestSuiteResumeIsBitIdentical(t *testing.T) {
+	fresh, err := Run(testConfig("gzip", "mcf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	// "Interrupted" run: only the first benchmark completed.
+	cfg1 := testConfig("gzip")
+	cfg1.CheckpointDir = dir
+	if _, err := Run(cfg1); err != nil {
+		t.Fatal(err)
+	}
+
+	o := obs.New()
+	cfg2 := testConfig("gzip", "mcf")
+	cfg2.CheckpointDir = dir
+	resumed, err := RunCtx(obs.With(context.Background(), o), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := o.Counter("pipeline.checkpoints_loaded").Value(); n != 1 {
+		t.Fatalf("checkpoints_loaded = %d, want 1", n)
+	}
+	if got, want := resumed.Fingerprint(), fresh.Fingerprint(); got != want {
+		t.Fatalf("resumed suite diverged: %s != %s", got, want)
+	}
+
+	// A third run finds both checkpoints and computes nothing.
+	o2 := obs.New()
+	again, err := RunCtx(obs.With(context.Background(), o2), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := o2.Counter("pipeline.checkpoints_loaded").Value(); n != 2 {
+		t.Fatalf("checkpoints_loaded on full resume = %d, want 2", n)
+	}
+	if n := o2.Counter("pipeline.benchmarks_completed").Value(); n != 0 {
+		t.Fatalf("benchmarks recomputed on full resume: %d", n)
+	}
+	if got, want := again.Fingerprint(), fresh.Fingerprint(); got != want {
+		t.Fatalf("fully resumed suite diverged: %s != %s", got, want)
+	}
+}
+
+// Golden guard: a corrupted checkpoint — payload edited, recorded
+// fingerprint left alone — must be detected by the fingerprint check
+// and recomputed, not trusted.
+func TestCorruptCheckpointDetectedAndRecomputed(t *testing.T) {
+	fresh, err := Run(testConfig("mcf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	cfg := testConfig("mcf")
+	cfg.CheckpointDir = dir
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the payload: nudge one measured number.
+	path := checkpointPath(dir, "mcf")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ck checkpointFile
+	if err := json.Unmarshal(data, &ck); err != nil {
+		t.Fatal(err)
+	}
+	ck.Benchmark.Runs[0].TrueCycles++
+	tampered, err := json.Marshal(&ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	o := obs.New()
+	suite, err := RunCtx(obs.With(context.Background(), o), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := o.Counter("pipeline.checkpoints_invalid").Value(); n != 1 {
+		t.Fatalf("checkpoints_invalid = %d, want 1", n)
+	}
+	if n := o.Counter("pipeline.checkpoints_loaded").Value(); n != 0 {
+		t.Fatalf("corrupt checkpoint was loaded (%d)", n)
+	}
+	if got, want := suite.Fingerprint(), fresh.Fingerprint(); got != want {
+		t.Fatalf("recomputed suite diverged: %s != %s", got, want)
+	}
+	// The recomputation must also repair the checkpoint on disk.
+	if _, err := loadCheckpoint(dir, "mcf", cfg.fingerprint()); err != nil {
+		t.Fatalf("checkpoint not repaired after recomputation: %v", err)
+	}
+}
+
+// Failed benchmarks must not leave checkpoints behind.
+func TestFailedBenchmarkWritesNoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig("nosuch")
+	cfg.CheckpointDir = dir
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown benchmark succeeded")
+	}
+	if _, err := os.Stat(checkpointPath(dir, "nosuch")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("checkpoint exists for failed benchmark: %v", err)
+	}
+}

@@ -46,12 +46,21 @@ type BenchmarkExport struct {
 	Pairs          []PairExport `json:"pairs"`
 }
 
-// SuiteExport is the whole evaluation.
+// FailureExport is one benchmark the suite could not complete.
+type FailureExport struct {
+	Name  string `json:"name"`
+	Error string `json:"error"`
+}
+
+// SuiteExport is the whole evaluation. Failures is non-empty exactly
+// when the suite is partial; consumers must treat the benchmark list as
+// incomplete then.
 type SuiteExport struct {
 	IntervalSize uint64            `json:"intervalSize"`
 	TargetOps    uint64            `json:"targetOps"`
 	MaxK         int               `json:"maxK"`
 	Benchmarks   []BenchmarkExport `json:"benchmarks"`
+	Failures     []FailureExport   `json:"failures,omitempty"`
 	Figures      []*Figure         `json:"figures"`
 }
 
@@ -101,6 +110,9 @@ func (s *Suite) Export() *SuiteExport {
 			})
 		}
 		out.Benchmarks = append(out.Benchmarks, be)
+	}
+	for _, f := range s.Failures {
+		out.Failures = append(out.Failures, FailureExport{Name: f.Name, Error: f.Err})
 	}
 	return out
 }

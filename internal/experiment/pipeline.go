@@ -11,6 +11,7 @@ import (
 	"xbsim/internal/cmpsim"
 	"xbsim/internal/compiler"
 	"xbsim/internal/exec"
+	"xbsim/internal/faults"
 	"xbsim/internal/mapping"
 	"xbsim/internal/obs"
 	"xbsim/internal/pool"
@@ -81,18 +82,38 @@ type BenchmarkResult struct {
 	Primary int
 }
 
+// PipelineStages lists every fault-injection hook the per-benchmark
+// pipeline passes through, in execution order. Plain names fire once per
+// stage attempt (inside the stage's retry envelope); ".task" names fire
+// once per pool-fanned work unit inside that stage, so faults planted
+// there exercise the worker pool's panic isolation as well. The chaos
+// subcommand draws its random fault plans from this list.
+var PipelineStages = []string{
+	"compile", "profile", "profile.task", "mapping", "vli",
+	"clustering", "clustering.task", "evaluate", "evaluate.task",
+}
+
 // RunBenchmark executes the full pipeline for one benchmark.
 func RunBenchmark(name string, cfg Config) (*BenchmarkResult, error) {
 	return RunBenchmarkCtx(context.Background(), name, cfg)
 }
 
-// RunBenchmarkCtx is RunBenchmark with observability. When the context
-// carries an obs.Observer, every pipeline stage is recorded as a span
-// under a per-benchmark root (compile → profile → mapping → VLI slicing →
-// projection → clustering → full/gated simulation → weighting), stage
-// progress is reported per binary, and the metrics registry accumulates
-// interval, marker, clustering, and simulator counters. Without an
-// observer it behaves — and costs — exactly like RunBenchmark.
+// RunBenchmarkCtx is RunBenchmark with observability and fault
+// tolerance. When the context carries an obs.Observer, every pipeline
+// stage is recorded as a span under a per-benchmark root (compile →
+// profile → mapping → VLI slicing → projection → clustering → full/gated
+// simulation → weighting), stage progress is reported per binary, and
+// the metrics registry accumulates interval, marker, clustering, and
+// simulator counters. Without an observer it behaves — and costs —
+// exactly like RunBenchmark.
+//
+// Every stage runs inside a fault-tolerance envelope (see runStage):
+// panics are isolated into *pool.PanicError, Config.StageTimeout bounds
+// each attempt, and transient failures — injected faults from a
+// faults.Injector on the context, or stage deadline expiries — are
+// retried under Config.Retry. Stages are idempotent and deterministic,
+// so a run that succeeds after retries is bit-identical to an
+// undisturbed one.
 //
 // Within the benchmark, the per-binary profile walks, the SimPoint
 // sweeps, and the per-binary evaluations run concurrently on a bounded
@@ -107,6 +128,38 @@ func RunBenchmarkCtx(ctx context.Context, name string, cfg Config) (*BenchmarkRe
 	if err != nil {
 		return nil, err
 	}
+	return runPipeline(ctx, name, func() (*program.Program, error) {
+		return program.Generate(name, program.GenConfig{TargetOps: cfg.TargetOps})
+	}, cfg)
+}
+
+// RunSpec runs the full benchmark pipeline on a synthesized program
+// spec instead of a named benchmark — the same population the selfcheck
+// and chaos harnesses draw from.
+func RunSpec(spec program.Spec, cfg Config) (*BenchmarkResult, error) {
+	return RunSpecCtx(context.Background(), spec, cfg)
+}
+
+// RunSpecCtx is RunSpec with observability and fault tolerance (see
+// RunBenchmarkCtx).
+func RunSpecCtx(ctx context.Context, spec program.Spec, cfg Config) (*BenchmarkResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	spec = spec.Normalize()
+	return runPipeline(ctx, spec.Name(), func() (*program.Program, error) {
+		return program.GenerateSpec(spec)
+	}, cfg)
+}
+
+// runPipeline is the staged pipeline body shared by RunBenchmarkCtx and
+// RunSpecCtx. gen produces the program (stage "compile" covers both
+// generation and compilation). Each stage closure is idempotent — it
+// allocates its result slots fresh on every attempt — so runStage can
+// re-run it after a transient failure without residue from the failed
+// attempt.
+func runPipeline(ctx context.Context, name string, gen func() (*program.Program, error), cfg Config) (*BenchmarkResult, error) {
 	if cfg.workerPool == nil {
 		cfg.workerPool = pool.New(cfg.Workers)
 	}
@@ -115,15 +168,20 @@ func RunBenchmarkCtx(ctx context.Context, name string, cfg Config) (*BenchmarkRe
 	bspan.Annotate(name)
 	defer bspan.End()
 
-	o.Report(obs.Event{Benchmark: name, Stage: "compile"})
-	_, cspan := obs.StartSpan(ctx, "stage.compile")
-	cspan.Annotate(name)
-	prog, err := program.Generate(name, program.GenConfig{TargetOps: cfg.TargetOps})
-	if err != nil {
-		return nil, err
-	}
-	bins, err := compiler.CompileAll(prog)
-	cspan.End()
+	var prog *program.Program
+	var bins []*compiler.Binary
+	err := runStage(ctx, cfg, name, "compile", func(sctx context.Context) error {
+		o.Report(obs.Event{Benchmark: name, Stage: "compile"})
+		_, cspan := obs.StartSpan(sctx, "stage.compile")
+		cspan.Annotate(name)
+		defer cspan.End()
+		var err error
+		if prog, err = gen(); err != nil {
+			return err
+		}
+		bins, err = compiler.CompileAll(prog)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -131,52 +189,71 @@ func RunBenchmarkCtx(ctx context.Context, name string, cfg Config) (*BenchmarkRe
 	// Walk 1 per binary: call/branch profile + FLI BBVs + totals. The
 	// walks are independent per binary, so they fan out on the pool;
 	// each writes its own profiles[bi]/fliRes[bi] slot.
-	profiles := make([]*profile.Profile, len(bins))
-	fliRes := make([]*profile.FLIResult, len(bins))
-	pctx, pspan := obs.StartSpan(ctx, "stage.profile")
-	err = cfg.workerPool.Run(len(bins), func(bi int) error {
-		bin := bins[bi]
-		o.Report(obs.Event{Benchmark: name, Binary: bin.Name, Stage: "profile"})
-		ic := exec.NewInstructionCounter(bin)
-		mc := exec.NewMarkerCounter(bin)
-		fc, err := profile.NewFLICollector(bin, cfg.IntervalSize)
-		if err != nil {
+	var profiles []*profile.Profile
+	var fliRes []*profile.FLIResult
+	err = runStage(ctx, cfg, name, "profile", func(sctx context.Context) error {
+		profiles = make([]*profile.Profile, len(bins))
+		fliRes = make([]*profile.FLIResult, len(bins))
+		pctx, pspan := obs.StartSpan(sctx, "stage.profile")
+		defer pspan.End()
+		return cfg.workerPool.Run(len(bins), func(bi int) error {
+			if err := faults.Hit(pctx, "profile.task"); err != nil {
+				return err
+			}
+			bin := bins[bi]
+			o.Report(obs.Event{Benchmark: name, Binary: bin.Name, Stage: "profile"})
+			ic := exec.NewInstructionCounter(bin)
+			mc := exec.NewMarkerCounter(bin)
+			fc, err := profile.NewFLICollector(bin, cfg.IntervalSize)
+			if err != nil {
+				return err
+			}
+			if err := exec.RunCtx(pctx, bin, cfg.Input, exec.Multi{ic, mc, fc}); err != nil {
+				return err
+			}
+			fliRes[bi] = fc.Finish()
+			o.Counter("pipeline.intervals.fli").Add(uint64(len(fliRes[bi].Ends)))
+			profiles[bi], err = profile.BuildProfile(bin, cfg.Input, ic.Instructions, mc.Counts)
 			return err
-		}
-		if err := exec.RunCtx(pctx, bin, cfg.Input, exec.Multi{ic, mc, fc}); err != nil {
-			return err
-		}
-		fliRes[bi] = fc.Finish()
-		o.Counter("pipeline.intervals.fli").Add(uint64(len(fliRes[bi].Ends)))
-		profiles[bi], err = profile.BuildProfile(bin, cfg.Input, ic.Instructions, mc.Counts)
-		return err
+		})
 	})
-	pspan.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// Mappable points across all binaries.
-	o.Report(obs.Event{Benchmark: name, Stage: "mapping"})
-	mapped, err := mapping.FindCtx(ctx, profiles, cfg.Mapping)
+	var mapped *mapping.Result
+	err = runStage(ctx, cfg, name, "mapping", func(sctx context.Context) error {
+		o.Report(obs.Event{Benchmark: name, Stage: "mapping"})
+		var err error
+		mapped, err = mapping.FindCtx(sctx, profiles, cfg.Mapping)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
 
 	// Walk 2 (primary only): VLI BBV collection at mappable markers.
-	o.Report(obs.Event{Benchmark: name, Stage: "vli slicing"})
 	primary := cfg.Primary
-	vctx, vspan := obs.StartSpan(ctx, "stage.vli_slicing")
-	vspan.Annotate(bins[primary].Name)
-	vc, err := profile.NewVLICollector(bins[primary], cfg.IntervalSize, mapped.MarkersFor(primary))
+	var vliRes *profile.VLIResult
+	err = runStage(ctx, cfg, name, "vli", func(sctx context.Context) error {
+		o.Report(obs.Event{Benchmark: name, Stage: "vli slicing"})
+		vctx, vspan := obs.StartSpan(sctx, "stage.vli_slicing")
+		vspan.Annotate(bins[primary].Name)
+		defer vspan.End()
+		vc, err := profile.NewVLICollector(bins[primary], cfg.IntervalSize, mapped.MarkersFor(primary))
+		if err != nil {
+			return err
+		}
+		if err := exec.RunCtx(vctx, bins[primary], cfg.Input, vc); err != nil {
+			return err
+		}
+		vliRes = vc.Finish()
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if err := exec.RunCtx(vctx, bins[primary], cfg.Input, vc); err != nil {
-		return nil, err
-	}
-	vliRes := vc.Finish()
-	vspan.End()
 	o.Counter("pipeline.intervals.vli").Add(uint64(len(vliRes.Ends)))
 
 	// SimPoint: per-binary FLI (independent runs, independently seeded —
@@ -184,32 +261,39 @@ func RunBenchmarkCtx(ctx context.Context, name string, cfg Config) (*BenchmarkRe
 	// one VLI run on the primary. All len(bins)+1 runs are independent
 	// and fan out together; each PickCtx additionally parallelizes its
 	// own k sweep and k-means restarts on the same shared pool.
-	o.Report(obs.Event{Benchmark: name, Stage: "clustering"})
-	spCfg := simpoint.Config{
-		MaxK: cfg.MaxK, Dim: cfg.Dim, BICThreshold: cfg.BICThreshold,
-		Restarts: cfg.Restarts, EarlyTolerance: cfg.EarlyTolerance,
-		Pool: cfg.workerPool,
-	}
-	fliPicks := make([]*simpoint.Result, len(bins))
+	var fliPicks []*simpoint.Result
 	var vliPick *simpoint.Result
-	err = cfg.workerPool.Run(len(bins)+1, func(i int) error {
-		pickCfg := spCfg
-		if i == len(bins) {
-			pickCfg.Seed = fmt.Sprintf("%s/vli/%s", cfg.Seed, prog.Name)
+	err = runStage(ctx, cfg, name, "clustering", func(sctx context.Context) error {
+		o.Report(obs.Event{Benchmark: name, Stage: "clustering"})
+		spCfg := simpoint.Config{
+			MaxK: cfg.MaxK, Dim: cfg.Dim, BICThreshold: cfg.BICThreshold,
+			Restarts: cfg.Restarts, EarlyTolerance: cfg.EarlyTolerance,
+			Pool: cfg.workerPool,
+		}
+		fliPicks = make([]*simpoint.Result, len(bins))
+		vliPick = nil
+		return cfg.workerPool.Run(len(bins)+1, func(i int) error {
+			if err := faults.Hit(sctx, "clustering.task"); err != nil {
+				return err
+			}
+			pickCfg := spCfg
+			if i == len(bins) {
+				pickCfg.Seed = fmt.Sprintf("%s/vli/%s", cfg.Seed, prog.Name)
+				var err error
+				vliPick, err = simpoint.PickCtx(sctx, vliRes.Dataset, pickCfg)
+				if err != nil {
+					return fmt.Errorf("%s vli simpoint: %w", prog.Name, err)
+				}
+				return nil
+			}
+			pickCfg.Seed = fmt.Sprintf("%s/fli/%s", cfg.Seed, bins[i].Name)
 			var err error
-			vliPick, err = simpoint.PickCtx(ctx, vliRes.Dataset, pickCfg)
+			fliPicks[i], err = simpoint.PickCtx(sctx, fliRes[i].Dataset, pickCfg)
 			if err != nil {
-				return fmt.Errorf("%s vli simpoint: %w", prog.Name, err)
+				return fmt.Errorf("%s fli simpoint: %w", bins[i].Name, err)
 			}
 			return nil
-		}
-		pickCfg.Seed = fmt.Sprintf("%s/fli/%s", cfg.Seed, bins[i].Name)
-		var err error
-		fliPicks[i], err = simpoint.PickCtx(ctx, fliRes[i].Dataset, pickCfg)
-		if err != nil {
-			return fmt.Errorf("%s fli simpoint: %w", bins[i].Name, err)
-		}
-		return nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -217,15 +301,21 @@ func RunBenchmarkCtx(ctx context.Context, name string, cfg Config) (*BenchmarkRe
 
 	// Walks 3-5 per binary: full + gated simulation and the method
 	// statistics. Each binary owns its simulators and its Runs[bi] slot.
-	res := &BenchmarkResult{Name: name, Mapping: mapped, Primary: primary,
-		Runs: make([]*BinaryRun, len(bins))}
-	err = cfg.workerPool.Run(len(bins), func(bi int) error {
-		run, err := evaluateBinary(ctx, cfg, bins, bi, profiles[bi], fliRes[bi], fliPicks[bi], vliRes, vliPick, mapped)
-		if err != nil {
-			return fmt.Errorf("%s: %w", bins[bi].Name, err)
-		}
-		res.Runs[bi] = run
-		return nil
+	var res *BenchmarkResult
+	err = runStage(ctx, cfg, name, "evaluate", func(sctx context.Context) error {
+		res = &BenchmarkResult{Name: name, Mapping: mapped, Primary: primary,
+			Runs: make([]*BinaryRun, len(bins))}
+		return cfg.workerPool.Run(len(bins), func(bi int) error {
+			if err := faults.Hit(sctx, "evaluate.task"); err != nil {
+				return err
+			}
+			run, err := evaluateBinary(sctx, cfg, bins, bi, profiles[bi], fliRes[bi], fliPicks[bi], vliRes, vliPick, mapped)
+			if err != nil {
+				return fmt.Errorf("%s: %w", bins[bi].Name, err)
+			}
+			res.Runs[bi] = run
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -547,12 +637,27 @@ func (g *gatedSnapshotter) flush() {
 
 func (g *gatedSnapshotter) close() { g.flush() }
 
-// Suite is a completed multi-benchmark evaluation.
+// BenchmarkFailure records one benchmark the suite could not complete.
+type BenchmarkFailure struct {
+	// Name is the benchmark that failed.
+	Name string
+	// Err is the rendered failure (the joined error chain's message).
+	Err string
+}
+
+// Suite is a completed multi-benchmark evaluation, possibly partial.
 type Suite struct {
 	// Config is the configuration the suite ran with (defaults applied).
 	Config Config
-	// Results holds one entry per benchmark, in Config.Benchmarks order.
+	// Results holds the completed benchmarks in Config.Benchmarks order.
+	// When every benchmark succeeds it has one entry per configured
+	// benchmark; failed benchmarks are absent here and listed in
+	// Failures instead.
 	Results []*BenchmarkResult
+	// Failures lists the benchmarks that failed, in Config.Benchmarks
+	// order. Reports render these as an explicit appendix so a partial
+	// suite is never mistaken for a complete one.
+	Failures []BenchmarkFailure
 }
 
 // Run evaluates every configured benchmark, in parallel up to
@@ -567,6 +672,18 @@ func Run(cfg Config) (*Suite, error) {
 // trace lanes keyed by their root spans. All benchmarks share one
 // intra-benchmark worker pool, so the whole suite never runs more than
 // Parallelism benchmark goroutines plus Workers-1 pool helpers.
+//
+// The suite degrades gracefully: a benchmark that fails (after
+// exhausting its retries) is recorded in Suite.Failures and the rest of
+// the suite keeps running. On failure RunCtx returns the partial Suite
+// alongside the joined error, so callers can report the completed
+// benchmarks with an explicit failure appendix.
+//
+// When Config.CheckpointDir is set, each completed benchmark's result is
+// persisted as a fingerprinted checkpoint, and benchmarks whose existing
+// checkpoints validate against this configuration are loaded instead of
+// recomputed — so an interrupted suite resumes where it stopped and
+// finishes with results bit-identical to an uninterrupted run.
 func RunCtx(ctx context.Context, cfg Config) (*Suite, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -574,36 +691,71 @@ func RunCtx(ctx context.Context, cfg Config) (*Suite, error) {
 	}
 	cfg.workerPool = pool.New(cfg.Workers)
 	o := obs.From(ctx)
-	suite := &Suite{Config: cfg, Results: make([]*BenchmarkResult, len(cfg.Benchmarks))}
+	cfgFP := cfg.fingerprint()
+	results := make([]*BenchmarkResult, len(cfg.Benchmarks))
+	errs := make([]error, len(cfg.Benchmarks))
 	sem := make(chan struct{}, cfg.Parallelism)
 	var wg sync.WaitGroup
 	var done atomic.Int64
-	errs := make([]error, len(cfg.Benchmarks))
 	for i, name := range cfg.Benchmarks {
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if cfg.CheckpointDir != "" {
+				r, err := loadCheckpoint(cfg.CheckpointDir, name, cfgFP)
+				switch {
+				case err == nil:
+					results[i] = r
+					o.Counter("pipeline.checkpoints_loaded").Inc()
+					o.Report(obs.Event{Benchmark: name, Stage: "resumed from checkpoint",
+						Done: int(done.Add(1)), Total: len(cfg.Benchmarks)})
+					return
+				case !errors.Is(err, errNoCheckpoint):
+					// Corrupt or stale checkpoint: recompute from scratch.
+					o.Counter("pipeline.checkpoints_invalid").Inc()
+					o.Report(obs.Event{Benchmark: name, Stage: "checkpoint invalid, recomputing"})
+				}
+			}
 			r, err := RunBenchmarkCtx(ctx, name, cfg)
 			if err != nil {
 				errs[i] = fmt.Errorf("%s: %w", name, err)
+				o.Counter("pipeline.benchmarks_failed").Inc()
 				o.Report(obs.Event{Benchmark: name, Stage: "failed",
 					Done: int(done.Add(1)), Total: len(cfg.Benchmarks)})
 				return
 			}
-			suite.Results[i] = r
+			results[i] = r
+			if cfg.CheckpointDir != "" {
+				if err := saveCheckpoint(cfg.CheckpointDir, r, cfgFP); err != nil {
+					// A checkpoint write failure costs resumability, not
+					// correctness: report it and keep the result.
+					o.Report(obs.Event{Benchmark: name, Stage: "checkpoint write failed: " + err.Error()})
+				}
+			}
 			o.Report(obs.Event{Benchmark: name, Stage: "done",
 				Done: int(done.Add(1)), Total: len(cfg.Benchmarks)})
 		}(i, name)
 	}
 	wg.Wait()
-	// Join every failure (in benchmark order) instead of surfacing only
-	// the first: a multi-failure run stays debuggable in one pass.
-	if err := errors.Join(errs...); err != nil {
-		return nil, err
+	suite := &Suite{Config: cfg}
+	for _, r := range results {
+		if r != nil {
+			suite.Results = append(suite.Results, r)
+		}
 	}
-	return suite, nil
+	for i, e := range errs {
+		if e != nil {
+			suite.Failures = append(suite.Failures, BenchmarkFailure{
+				Name: cfg.Benchmarks[i], Err: e.Error()})
+		}
+	}
+	// Join every failure (in benchmark order) instead of surfacing only
+	// the first: a multi-failure run stays debuggable in one pass. The
+	// partial suite is returned alongside the error so completed work
+	// survives.
+	return suite, errors.Join(errs...)
 }
 
 // ByName returns the named benchmark's result, or nil.

@@ -1,0 +1,325 @@
+// Package faults is a deterministic fault injector for exercising the
+// pipeline's failure paths. An Injector carries a schedule of rules —
+// each addressed to one invocation of one named stage hook — through a
+// context.Context; instrumented code calls Hit(ctx, stage) at stage
+// boundaries and the injector decides whether that invocation fails,
+// panics, stalls, or hangs.
+//
+// The design mirrors internal/obs: everything is nil-safe, so a context
+// without an injector pays one context lookup and nothing else — the
+// production path has no build tags, no globals, and no cost beyond that
+// lookup. Schedules are deterministic: RandomPlan derives the whole plan
+// from a string key via internal/xrand, so the same key always injects
+// the same faults, which is what lets `xbsim chaos` assert that a
+// faulted-and-retried run is bit-identical to a fault-free one.
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"xbsim/internal/obs"
+	"xbsim/internal/xrand"
+)
+
+// Kind is the failure mode a rule injects.
+type Kind int
+
+const (
+	// KindError makes the hook return a transient *InjectedError.
+	KindError Kind = iota
+	// KindPanic makes the hook panic with a *InjectedError value; the
+	// worker pool's panic isolation converts it into a *pool.PanicError
+	// attributed to the panicking task.
+	KindPanic
+	// KindDelay makes the hook sleep for the rule's Delay, then succeed.
+	KindDelay
+	// KindHang makes the hook block until the context is done — the way
+	// to exercise per-stage deadlines (experiment.Config.StageTimeout).
+	KindHang
+)
+
+// String returns the kind's flag-syntax name.
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindDelay:
+		return "delay"
+	case KindHang:
+		return "hang"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// parseKind is the inverse of Kind.String.
+func parseKind(s string) (Kind, error) {
+	switch s {
+	case "error":
+		return KindError, nil
+	case "panic":
+		return KindPanic, nil
+	case "delay":
+		return KindDelay, nil
+	case "hang":
+		return KindHang, nil
+	}
+	return 0, fmt.Errorf("faults: unknown kind %q (want error, panic, delay, or hang)", s)
+}
+
+// Rule injects one fault: the Index-th invocation (0-based) of the named
+// stage hook fires with the given kind. A rule fires at most once.
+type Rule struct {
+	// Stage names the hook (e.g. "profile", "clustering.task").
+	Stage string
+	// Index is the invocation of that hook the fault fires on.
+	Index int
+	// Kind is the failure mode.
+	Kind Kind
+	// Delay is the stall duration for KindDelay rules.
+	Delay time.Duration
+}
+
+// String renders the rule in ParseRules syntax.
+func (r Rule) String() string {
+	s := fmt.Sprintf("%s@%d:%s", r.Stage, r.Index, r.Kind)
+	if r.Kind == KindDelay {
+		s += ":" + r.Delay.String()
+	}
+	return s
+}
+
+// InjectedError is the typed error every injected fault surfaces as.
+// Error-kind rules return it, panic-kind rules panic with it, and
+// hang-kind rules wrap the context error in it — so one errors.As check
+// identifies "this failure was injected" across all kinds, including
+// through a pool.PanicError and errors.Join.
+type InjectedError struct {
+	// Stage and Index address the invocation that fired.
+	Stage string
+	Index int
+	// Kind is the injected failure mode.
+	Kind Kind
+	// err is the underlying cause for hang faults (the context error).
+	err error
+}
+
+// Error implements error.
+func (e *InjectedError) Error() string {
+	msg := fmt.Sprintf("injected %s fault at %s invocation %d", e.Kind, e.Stage, e.Index)
+	if e.err != nil {
+		msg += ": " + e.err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying cause (hang faults wrap ctx.Err()).
+func (e *InjectedError) Unwrap() error { return e.err }
+
+// Injected reports whether an injected fault is anywhere in err's tree.
+func Injected(err error) bool {
+	var ie *InjectedError
+	return errors.As(err, &ie)
+}
+
+// Injector holds a fault schedule and the per-stage invocation counters
+// that address it. A nil *Injector is valid and injects nothing.
+type Injector struct {
+	mu sync.Mutex
+	// rules maps "stage\x00index" to the scheduled rule.
+	rules map[string]Rule
+	// hits counts invocations per stage hook.
+	hits map[string]int
+	// injected counts rules that fired.
+	injected int
+}
+
+// NewInjector builds an injector from a schedule. Later rules on the
+// same (stage, index) slot override earlier ones.
+func NewInjector(rules ...Rule) *Injector {
+	in := &Injector{rules: make(map[string]Rule, len(rules)), hits: map[string]int{}}
+	for _, r := range rules {
+		in.rules[slotKey(r.Stage, r.Index)] = r
+	}
+	return in
+}
+
+func slotKey(stage string, index int) string {
+	return stage + "\x00" + strconv.Itoa(index)
+}
+
+// Injected returns the number of rules that have fired so far.
+func (in *Injector) Injected() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+// Rules returns the schedule sorted by (stage, index), for reporting.
+func (in *Injector) Rules() []Rule {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	out := make([]Rule, 0, len(in.rules))
+	for _, r := range in.rules {
+		out = append(out, r)
+	}
+	in.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stage != out[j].Stage {
+			return out[i].Stage < out[j].Stage
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+// ctxKey keys the Injector in a context.
+type ctxKey struct{}
+
+// With returns a context carrying the injector. A nil injector returns
+// ctx unchanged.
+func With(ctx context.Context, in *Injector) context.Context {
+	if in == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, in)
+}
+
+// From returns the context's injector, or nil when none is attached.
+func From(ctx context.Context) *Injector {
+	in, _ := ctx.Value(ctxKey{}).(*Injector)
+	return in
+}
+
+// Hit marks one invocation of the named stage hook on the context's
+// injector. Without an injector it costs one context lookup and returns
+// nil. With one, it advances the stage's invocation counter and fires
+// the matching rule, if any: error faults return a *InjectedError, panic
+// faults panic with one, delay faults stall and then succeed, and hang
+// faults block until ctx is done and return its error wrapped in a
+// *InjectedError.
+func Hit(ctx context.Context, stage string) error {
+	return From(ctx).hit(ctx, stage)
+}
+
+func (in *Injector) hit(ctx context.Context, stage string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	idx := in.hits[stage]
+	in.hits[stage] = idx + 1
+	rule, ok := in.rules[slotKey(stage, idx)]
+	if ok {
+		in.injected++
+	}
+	in.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	obs.From(ctx).Counter("pipeline.faults_injected").Inc()
+	ie := &InjectedError{Stage: stage, Index: idx, Kind: rule.Kind}
+	switch rule.Kind {
+	case KindPanic:
+		panic(ie)
+	case KindDelay:
+		t := time.NewTimer(rule.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			ie.err = ctx.Err()
+			return ie
+		}
+	case KindHang:
+		<-ctx.Done()
+		ie.err = ctx.Err()
+		return ie
+	}
+	return ie
+}
+
+// RandomPlan derives a deterministic schedule of n faults from a string
+// key: the same (key, stages, n) always yields the same plan. Kinds are
+// weighted toward errors and panics (the retryable modes); delays are
+// short and hangs rare, since a hang costs a full stage deadline of wall
+// clock. Slot collisions resolve to the next free invocation index, so
+// the plan always holds exactly n rules.
+func RandomPlan(key string, stages []string, n int) []Rule {
+	rng := xrand.New("faults/" + key)
+	taken := map[string]bool{}
+	plan := make([]Rule, 0, n)
+	weights := []float64{0.45, 0.25, 0.2, 0.1} // error, panic, delay, hang
+	for i := 0; i < n; i++ {
+		stage := stages[rng.Intn(len(stages))]
+		idx := rng.Intn(4)
+		for taken[slotKey(stage, idx)] {
+			idx++
+		}
+		taken[slotKey(stage, idx)] = true
+		r := Rule{Stage: stage, Index: idx, Kind: Kind(rng.Pick(weights))}
+		if r.Kind == KindDelay {
+			r.Delay = time.Duration(1+rng.Intn(20)) * time.Millisecond
+		}
+		plan = append(plan, r)
+	}
+	return plan
+}
+
+// ParseRules parses a comma-separated explicit schedule, each element
+// "stage@index:kind" with an optional ":duration" for delay faults, e.g.
+// "profile@0:error,clustering.task@2:panic,vli@0:delay:25ms".
+func ParseRules(s string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		at := strings.IndexByte(part, '@')
+		if at < 1 {
+			return nil, fmt.Errorf("faults: rule %q: want stage@index:kind", part)
+		}
+		rest := strings.SplitN(part[at+1:], ":", 3)
+		if len(rest) < 2 {
+			return nil, fmt.Errorf("faults: rule %q: want stage@index:kind", part)
+		}
+		idx, err := strconv.Atoi(rest[0])
+		if err != nil || idx < 0 {
+			return nil, fmt.Errorf("faults: rule %q: bad invocation index %q", part, rest[0])
+		}
+		kind, err := parseKind(rest[1])
+		if err != nil {
+			return nil, err
+		}
+		r := Rule{Stage: part[:at], Index: idx, Kind: kind}
+		if kind == KindDelay {
+			r.Delay = 5 * time.Millisecond
+			if len(rest) == 3 {
+				d, err := time.ParseDuration(rest[2])
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("faults: rule %q: bad delay %q", part, rest[2])
+				}
+				r.Delay = d
+			}
+		} else if len(rest) == 3 {
+			return nil, fmt.Errorf("faults: rule %q: duration only applies to delay faults", part)
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}

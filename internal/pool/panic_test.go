@@ -1,0 +1,118 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// A panicking task must surface as a *PanicError in its index slot, not
+// crash the process, and must not leak its worker token: after a run
+// where half the tasks panic, the pool's full helper budget is still
+// available. Run under -race, this also pins that recovery introduces no
+// data race.
+func TestPanicIsolationDoesNotLeakTokens(t *testing.T) {
+	const workers = 4
+	p := New(workers)
+	for round := 0; round < 3; round++ {
+		var ran atomic.Int64
+		err := p.Run(32, func(i int) error {
+			ran.Add(1)
+			if i%2 == 1 {
+				panic(fmt.Sprintf("task %d exploded", i))
+			}
+			return nil
+		})
+		if got := ran.Load(); got != 32 {
+			t.Fatalf("round %d: %d tasks ran, want 32", round, got)
+		}
+		if err == nil {
+			t.Fatalf("round %d: expected joined panic errors", round)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("round %d: error %T does not contain *PanicError", round, err)
+		}
+		// Every token must be back: a leaked token would strand a helper
+		// slot for all later rounds.
+		if held := len(p.tokens); held != 0 {
+			t.Fatalf("round %d: %d worker tokens leaked", round, held)
+		}
+	}
+}
+
+// The PanicError is attributed to the panicking task's slot and carries
+// the stack; non-panicking failures keep their position in the join.
+func TestPanicErrorAttribution(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		err := p.Run(6, func(i int) error {
+			switch i {
+			case 2:
+				panic("boom at two")
+			case 4:
+				return errors.New("plain failure at four")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatal("expected error")
+		}
+		var joined []error
+		if u, ok := err.(interface{ Unwrap() []error }); ok {
+			joined = u.Unwrap()
+		} else {
+			joined = []error{err}
+		}
+		if len(joined) != 2 {
+			t.Fatalf("workers=%d: joined %d errors, want 2: %v", workers, len(joined), err)
+		}
+		pe, ok := joined[0].(*PanicError)
+		if !ok {
+			t.Fatalf("workers=%d: first joined error is %T, want *PanicError", workers, joined[0])
+		}
+		if pe.Index != 2 || pe.Value != "boom at two" || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: bad attribution: index %d value %v stack %d bytes",
+				workers, pe.Index, pe.Value, len(pe.Stack))
+		}
+		if !strings.Contains(pe.Error(), "task 2 panicked") {
+			t.Fatalf("workers=%d: PanicError.Error() = %q", workers, pe.Error())
+		}
+		if joined[1].Error() != "plain failure at four" {
+			t.Fatalf("workers=%d: second joined error = %v", workers, joined[1])
+		}
+	}
+}
+
+// errors.As must see through a PanicError whose value was itself an
+// error — the path injected panic faults take back to the retry policy.
+func TestPanicErrorUnwrapsErrorValues(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	err := New(2).Run(3, func(i int) error {
+		if i == 1 {
+			panic(fmt.Errorf("wrapped: %w", sentinel))
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is through PanicError failed: %v", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 1 {
+		t.Fatalf("PanicError lost: %v", err)
+	}
+}
+
+// Protect is the single-call form used at stage level.
+func TestProtect(t *testing.T) {
+	if err := Protect(func() error { return nil }); err != nil {
+		t.Fatalf("Protect of clean fn: %v", err)
+	}
+	err := Protect(func() error { panic("stage blew up") })
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != -1 || pe.Value != "stage blew up" {
+		t.Fatalf("Protect returned %v", err)
+	}
+}

@@ -22,10 +22,59 @@ package pool
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a panic recovered from one task, attributed to its index
+// slot. Isolating panics this way keeps one broken task from killing the
+// process (and, with helper goroutines, from leaking the worker token the
+// panicking goroutine held): the panic becomes an ordinary error joined
+// in index order like any other task failure.
+type PanicError struct {
+	// Index is the task slot that panicked (-1 for Protect).
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+// Error implements error, including the captured stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("task %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Unwrap exposes the panic value when it was an error, so errors.Is/As
+// see through recovered panics (e.g. an injected fault that panicked).
+func (e *PanicError) Unwrap() error {
+	err, _ := e.Value.(error)
+	return err
+}
+
+// protect runs fn(i), converting a panic into a *PanicError. The recover
+// lives here — below the pool's token bookkeeping — so a panicking task
+// unwinds no further than its own call frame: helper goroutines keep
+// their deferred token release on the normal path and the process stays
+// alive.
+func protect(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
+// Protect runs fn, converting a panic into a *PanicError with index -1.
+// It is the single-call form of the pool's panic isolation, for callers
+// running one protected region outside a task fan-out.
+func Protect(fn func() error) error {
+	return protect(-1, func(int) error { return fn() })
+}
 
 // Pool is a bounded worker pool. A nil *Pool is valid and runs
 // everything serially on the calling goroutine, so call sites never
@@ -59,7 +108,10 @@ func (p *Pool) Workers() int {
 // dependent — deterministic output therefore requires fn to write its
 // result into an index-addressed slot, which every call site in this
 // repository does. Run returns after all n calls finished, with the
-// non-nil errors joined in index order (errors.Join).
+// non-nil errors joined in index order (errors.Join). A task that
+// panics does not crash the process or leak its worker token: the panic
+// is recovered and joined as a *PanicError carrying the task index and
+// the captured stack.
 func (p *Pool) Run(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -67,7 +119,7 @@ func (p *Pool) Run(n int, fn func(i int) error) error {
 	errs := make([]error, n)
 	if p == nil || p.workers == 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			errs[i] = fn(i)
+			errs[i] = protect(i, fn)
 		}
 		return errors.Join(errs...)
 	}
@@ -79,7 +131,7 @@ func (p *Pool) Run(n int, fn func(i int) error) error {
 			if i >= n {
 				return
 			}
-			errs[i] = fn(i)
+			errs[i] = protect(i, fn)
 		}
 	}
 

@@ -385,6 +385,25 @@ func Suite(w io.Writer, s *experiment.Suite) error {
 			return err
 		}
 	}
+	return Failures(w, s.Failures)
+}
+
+// Failures renders the failure appendix of a partial suite: the
+// benchmarks that did not complete, listed explicitly so a degraded run
+// is never mistaken for a full one. An empty list writes nothing, so
+// reports of complete suites are unchanged.
+func Failures(w io.Writer, failures []experiment.BenchmarkFailure) error {
+	if len(failures) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "FAILED BENCHMARKS (%d) — the results above are partial\n", len(failures)); err != nil {
+		return err
+	}
+	for _, f := range failures {
+		if _, err := fmt.Fprintf(w, "  %-10s %s\n", f.Name, f.Err); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -151,6 +151,9 @@ func PickCtx(ctx context.Context, ds *bbv.Dataset, cfg Config) (*Result, error) 
 	if ds == nil || ds.Len() == 0 {
 		return nil, fmt.Errorf("simpoint: empty dataset")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("simpoint: %w", err)
+	}
 	o := obs.From(ctx)
 	rng := xrand.New("simpoint/" + cfg.Seed)
 	_, pspan := obs.StartSpan(ctx, "stage.projection")
@@ -207,6 +210,12 @@ func PickCtx(ctx context.Context, ds *bbv.Dataset, cfg Config) (*Result, error) 
 	_, cspan := obs.StartSpan(ctx, "stage.clustering")
 	cspan.Annotate(cfg.Seed)
 	err = cfg.Pool.Run(maxK, func(i int) error {
+		// The sweep is the long pole of the analysis; check for
+		// cancellation once per k so an abandoned pick returns promptly
+		// instead of clustering to completion.
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("simpoint: %w", err)
+		}
 		k := i + 1
 		res, err := kmeans.Run(points, weights, k, kmeans.Config{
 			Restarts: cfg.Restarts,

@@ -85,8 +85,12 @@ type (
 	HierarchyConfig = cmpsim.HierarchyConfig
 	// ExperimentConfig parameterizes the paper-evaluation harness.
 	ExperimentConfig = experiment.Config
-	// Suite is a completed paper evaluation.
+	// RetryPolicy controls transient-failure retries per pipeline stage.
+	RetryPolicy = experiment.RetryPolicy
+	// Suite is a completed — possibly partial — paper evaluation.
 	Suite = experiment.Suite
+	// BenchmarkFailure records one benchmark a suite could not complete.
+	BenchmarkFailure = experiment.BenchmarkFailure
 	// RegionFile is a serializable PinPoints-style region descriptor.
 	RegionFile = pinpoints.File
 )
