@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"xbsim/internal/bench"
+	"xbsim/internal/experiment"
+)
+
+// cmdBench is the performance-regression harness: it runs the suite N
+// times serially, records wall time, allocation, and the per-stage
+// resource breakdown into a schema-versioned JSON result, and — with
+// -against — compares the run to a committed baseline and fails on
+// regressions beyond the tolerances. Wall clock varies across machines,
+// so its default tolerance is generous; allocation is nearly
+// deterministic, so its tolerance is tight.
+func cmdBench(ctx context.Context, args []string, w io.Writer) error {
+	fs := newFlagSet("bench")
+	quick := fs.Bool("quick", false, "use the reduced five-benchmark configuration")
+	n := fs.Int("n", 3, "suite iterations (min wall time is the headline statistic)")
+	benchList := fs.String("benchmarks", "", "comma-separated benchmark subset")
+	ops := fs.Uint64("ops", 0, "override abstract operations per run (0 = configuration default)")
+	interval := fs.Uint64("interval", 0, "override interval size (0 = configuration default)")
+	out := fs.String("o", "", "write the result JSON here")
+	against := fs.String("against", "", "baseline result JSON; regressions beyond the tolerances fail the command")
+	wallTol := fs.Float64("tolerance", 0.50, "allowed relative wall-time regression vs the baseline")
+	allocTol := fs.Float64("alloc-tolerance", 0.10, "allowed relative allocation regression vs the baseline")
+	label := fs.String("label", "", "free-form tag recorded into the result")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *n <= 0 {
+		return usagef("-n must be positive")
+	}
+	if *wallTol < 0 || *allocTol < 0 {
+		return usagef("tolerances must be non-negative")
+	}
+	cfg := experiment.FullConfig()
+	if *quick {
+		cfg = experiment.QuickConfig()
+	}
+	if *benchList != "" {
+		cfg.Benchmarks = strings.Split(*benchList, ",")
+	}
+	if *ops != 0 {
+		cfg.TargetOps = *ops
+	}
+	if *interval != 0 {
+		cfg.IntervalSize = *interval
+	}
+
+	res, err := bench.Run(ctx, bench.Options{
+		Config: cfg, Iterations: *n, Label: *label, Progress: os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	if err := res.Write(w); err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := res.Save(*out); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", *out)
+	}
+	if *against != "" {
+		base, err := bench.Load(*against)
+		if err != nil {
+			return err
+		}
+		cmp := bench.Compare(res, base, *wallTol, *allocTol)
+		if err := cmp.Write(w); err != nil {
+			return err
+		}
+		return cmp.Err()
+	}
+	return nil
+}

@@ -16,7 +16,10 @@
 //
 // Global flags (before the command) enable observability: -v streams
 // per-stage progress to stderr, -trace-out writes a Chrome trace_event
-// JSON of every pipeline stage, -metrics-out dumps the metrics registry.
+// JSON of every pipeline stage, -metrics-out dumps the metrics
+// registry, -telemetry-addr serves live metrics/progress/events/pprof
+// over HTTP, -events-out journals structured pipeline events as JSONL,
+// and -profile-dir captures CPU and heap profiles.
 package main
 
 import (
@@ -27,8 +30,10 @@ import (
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"xbsim"
 	"xbsim/internal/bbv"
@@ -39,6 +44,7 @@ import (
 	"xbsim/internal/markerstats"
 	"xbsim/internal/obs"
 	"xbsim/internal/report"
+	"xbsim/internal/telemetry"
 	"xbsim/internal/trace"
 	"xbsim/internal/validate"
 	"xbsim/internal/xrand"
@@ -51,6 +57,9 @@ func main() {
 	verbose := gfs.Bool("v", false, "stream per-stage progress to stderr")
 	traceOut := gfs.String("trace-out", "", "write a Chrome trace_event JSON file of the run")
 	metricsOut := gfs.String("metrics-out", "", "write a metrics snapshot to this file ('-' = stderr)")
+	telemetryAddr := gfs.String("telemetry-addr", "", "serve live /metrics, /progress, /events, /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+	profileDir := gfs.String("profile-dir", "", "capture cpu.pprof and heap.pprof of the run into this directory")
+	eventsOut := gfs.String("events-out", "", "journal structured pipeline events to this file as JSONL")
 	if err := gfs.Parse(os.Args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			os.Exit(0)
@@ -63,21 +72,109 @@ func main() {
 		os.Exit(2)
 	}
 
-	ctx := context.Background()
+	// Interrupts cancel the context instead of killing the process, so
+	// the pipeline unwinds cleanly and every sink below still flushes —
+	// the trace, events journal, and profiles survive a ^C mid-run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var o *obs.Observer
-	if *verbose || *traceOut != "" || *metricsOut != "" {
+	if *verbose || *traceOut != "" || *metricsOut != "" ||
+		*telemetryAddr != "" || *profileDir != "" || *eventsOut != "" {
 		o = obs.New()
 		if *verbose {
 			o.Progress = obs.NewProgress(os.Stderr)
 		}
+		if *telemetryAddr != "" || *eventsOut != "" {
+			o.Events = obs.NewRecorder(obs.DefaultRecorderCapacity)
+		}
 		ctx = obs.With(ctx, o)
 	}
 
-	err := run(ctx, args[0], args[1:], os.Stdout)
-	if ferr := finishObservability(o, *verbose, *traceOut, *metricsOut); err == nil {
+	sinks, err := startSinks(ctx, o, *traceOut, *telemetryAddr, *profileDir, *eventsOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xbsim:", err)
+		os.Exit(1)
+	}
+
+	err = run(ctx, args[0], args[1:], os.Stdout)
+	if serr := sinks.close(); err == nil {
+		err = serr
+	}
+	if ferr := finishObservability(o, *verbose, *metricsOut); err == nil {
 		err = ferr
 	}
 	exit(err, args[0])
+}
+
+// sinks holds the observability outputs that need an explicit flush or
+// shutdown on the exit path.
+type sinks struct {
+	o          *obs.Observer
+	traceFile  *os.File
+	flushTrace func() error
+	eventsFile *os.File
+	server     *telemetry.Server
+	profiles   *telemetry.Profiles
+}
+
+// startSinks opens the file- and network-backed observability outputs.
+// The trace file is created up front and auto-flushed on context
+// cancellation, so even an interrupted run leaves complete, loadable
+// JSON.
+func startSinks(ctx context.Context, o *obs.Observer, traceOut, telemetryAddr, profileDir, eventsOut string) (*sinks, error) {
+	s := &sinks{o: o}
+	if eventsOut != "" {
+		f, err := os.Create(eventsOut)
+		if err != nil {
+			return nil, err
+		}
+		o.Events.SetOutput(f)
+		s.eventsFile = f
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return nil, err
+		}
+		s.traceFile = f
+		s.flushTrace = o.Tracer.AutoFlush(ctx, f)
+	}
+	if telemetryAddr != "" {
+		srv, err := telemetry.Start(telemetryAddr, o)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "xbsim: telemetry on http://%s\n", srv.Addr())
+		s.server = srv
+	}
+	p, err := telemetry.StartProfiles(profileDir)
+	if err != nil {
+		return nil, err
+	}
+	s.profiles = p
+	return s, nil
+}
+
+// close flushes and shuts down every sink, keeping the first error.
+func (s *sinks) close() error {
+	var first error
+	keep := func(err error) {
+		if first == nil {
+			first = err
+		}
+	}
+	keep(s.profiles.Stop())
+	keep(s.server.Close())
+	if s.flushTrace != nil {
+		keep(s.flushTrace())
+		keep(s.traceFile.Close())
+	}
+	if s.eventsFile != nil {
+		keep(s.o.Events.Flush())
+		keep(s.eventsFile.Close())
+	}
+	return first
 }
 
 // exit maps an error to the process exit status: nil → 0, -h/--help → 0,
@@ -103,27 +200,15 @@ func exit(err error, command string) {
 	}
 }
 
-// finishObservability flushes the trace and metrics sinks after the
-// command ran. With -v the stage-timing tree is printed to stderr too.
-func finishObservability(o *obs.Observer, verbose bool, traceOut, metricsOut string) error {
+// finishObservability renders the end-of-run views: the stage-timing
+// tree under -v and the metrics dump under -metrics-out. (The trace
+// file is handled by sinks, so it also survives interrupts.)
+func finishObservability(o *obs.Observer, verbose bool, metricsOut string) error {
 	if o == nil {
 		return nil
 	}
 	if verbose {
 		if err := o.Tracer.WriteTree(os.Stderr); err != nil {
-			return err
-		}
-	}
-	if traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return err
-		}
-		if err := o.Tracer.WriteChromeTrace(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
 			return err
 		}
 	}
@@ -211,6 +296,8 @@ func run(ctx context.Context, command string, args []string, w io.Writer) error 
 		return cmdSelfcheck(ctx, args, w)
 	case "chaos":
 		return cmdChaos(ctx, args, w)
+	case "bench":
+		return cmdBench(ctx, args, w)
 	case "callgraph":
 		return cmdCallgraph(args, w)
 	case "phases":
@@ -253,13 +340,22 @@ commands:
                                      run randomized programs under injected
                                      fault schedules; recovered runs must be
                                      bit-identical to the fault-free baseline
+  bench    [-quick] [-n N] [-o F] [-against F] [-tolerance T]
+                                     run the suite N times, record wall
+                                     time/allocation/per-stage resources,
+                                     compare against a baseline JSON
   callgraph -bench B [-target T]     annotated call-loop graph
   phases   -bench B [-flavor F]      phase timeline of the execution
   similarity -bench B [-target T]    interval similarity heat map
 
 common flags: -ops N (program scale), -interval N (interval size),
 -seed S (input seed), -workers N (pool size for clustering/pipeline
-work; 0 = GOMAXPROCS, 1 = serial — parallelism never changes results)`)
+work; 0 = GOMAXPROCS, 1 = serial — parallelism never changes results)
+
+global flags (before the command): -v (progress + timing tree),
+-trace-out F (Chrome trace), -metrics-out F (metrics dump),
+-telemetry-addr A (live /metrics /progress /events /debug/pprof),
+-events-out F (JSONL event journal), -profile-dir D (cpu/heap pprof)`)
 }
 
 // commonFlags adds the scale/input flags shared by the data commands.

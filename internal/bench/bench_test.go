@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xbsim/internal/experiment"
+)
+
+// tinyOptions is a one-benchmark, small-scale harness configuration so
+// the tests stay fast.
+func tinyOptions(iters int) Options {
+	cfg := experiment.QuickConfig()
+	cfg.Benchmarks = []string{"mcf"}
+	cfg.TargetOps = 200_000
+	cfg.IntervalSize = 5_000
+	return Options{Config: cfg, Iterations: iters, Label: "test"}
+}
+
+// Run must produce one iteration per request, with wall time,
+// allocation, and a per-stage breakdown scanned from the resource
+// metrics.
+func TestRunCollectsIterationsAndStages(t *testing.T) {
+	res, err := Run(context.Background(), tinyOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema != SchemaVersion || res.Label != "test" {
+		t.Errorf("result header = %+v", res)
+	}
+	if len(res.Iterations) != 2 {
+		t.Fatalf("iterations = %d, want 2", len(res.Iterations))
+	}
+	for i, it := range res.Iterations {
+		if it.WallUS == 0 || it.AllocBytes == 0 {
+			t.Errorf("iteration %d: wall %d, alloc %d — want both non-zero", i, it.WallUS, it.AllocBytes)
+		}
+		for _, stage := range []string{"compile", "profile", "vli", "mapping", "clustering", "evaluate"} {
+			st, ok := it.Stages[stage]
+			if !ok || st.Attempts == 0 {
+				t.Errorf("iteration %d: stage %q = %+v", i, stage, st)
+			}
+		}
+	}
+	if res.MinWallUS() == 0 || res.MeanAllocBytes() == 0 {
+		t.Error("aggregates are zero")
+	}
+
+	var b strings.Builder
+	if err := res.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "clustering") {
+		t.Errorf("table missing stage rows:\n%s", b.String())
+	}
+}
+
+// Save/Load must round-trip, and Load must reject a result written by
+// a different schema version.
+func TestSaveLoadAndSchemaCheck(t *testing.T) {
+	res, err := Run(context.Background(), tinyOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := res.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MinWallUS() != res.MinWallUS() || len(got.Iterations) != len(res.Iterations) {
+		t.Errorf("round-trip changed the result: %+v vs %+v", got, res)
+	}
+
+	res.Schema = SchemaVersion + 1
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := res.Save(bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Errorf("Load accepted a foreign schema: %v", err)
+	}
+}
+
+// synthetic builds a result by hand for comparison tests.
+func synthetic(wallUS, allocBytes uint64) *Result {
+	return &Result{
+		Schema: SchemaVersion,
+		Iterations: []Iteration{{
+			WallUS: wallUS, AllocBytes: allocBytes,
+			Stages: map[string]StageStats{"clustering": {Attempts: 1, WallUS: wallUS / 2}},
+		}},
+	}
+}
+
+// Compare must pass within tolerance and fail beyond it, separately
+// for wall time and allocation.
+func TestCompareTolerances(t *testing.T) {
+	base := synthetic(1000, 1_000_000)
+
+	if err := Compare(synthetic(1100, 1_000_000), base, 0.20, 0.05).Err(); err != nil {
+		t.Errorf("10%% wall inside 20%% tolerance failed: %v", err)
+	}
+	if err := Compare(synthetic(1300, 1_000_000), base, 0.20, 0.05).Err(); err == nil {
+		t.Error("30% wall regression passed a 20% tolerance")
+	}
+	if err := Compare(synthetic(1000, 1_200_000), base, 0.20, 0.05).Err(); err == nil {
+		t.Error("20% alloc regression passed a 5% tolerance")
+	}
+	// Improvements never fail.
+	if err := Compare(synthetic(500, 500_000), base, 0.20, 0.05).Err(); err != nil {
+		t.Errorf("improvement flagged as regression: %v", err)
+	}
+
+	c := Compare(synthetic(1300, 1_300_000), base, 0.20, 0.05)
+	if len(c.Regressions) != 2 {
+		t.Errorf("regressions = %v, want wall and alloc", c.Regressions)
+	}
+	var b strings.Builder
+	if err := c.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "REGRESSION") || !strings.Contains(b.String(), "clustering") {
+		t.Errorf("comparison table:\n%s", b.String())
+	}
+}
+
+// A stage present only in the current result renders as "new" and an
+// empty baseline never divides by zero.
+func TestCompareHandlesNewStagesAndEmptyBase(t *testing.T) {
+	base := &Result{Schema: SchemaVersion, Iterations: []Iteration{{WallUS: 0}}}
+	cur := synthetic(1000, 1_000_000)
+	c := Compare(cur, base, 0.20, 0.05)
+	if c.WallRatio != 0 || c.AllocRatio != 0 {
+		t.Errorf("ratios vs empty base = %v/%v, want 0/0", c.WallRatio, c.AllocRatio)
+	}
+	if err := c.Err(); err != nil {
+		t.Errorf("empty baseline produced a regression: %v", err)
+	}
+	var b strings.Builder
+	if err := c.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "new") {
+		t.Errorf("new stage not marked:\n%s", b.String())
+	}
+}

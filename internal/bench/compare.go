@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// StageDelta is one stage's wall-time movement between two results.
+type StageDelta struct {
+	// Stage is the pipeline stage name.
+	Stage string
+	// BaseUS and CurUS are the min wall times in each result.
+	BaseUS, CurUS uint64
+	// Ratio is CurUS/BaseUS (1 = unchanged; 0 when the base is empty).
+	Ratio float64
+}
+
+// Comparison is the outcome of Compare: total movements, the per-stage
+// breakdown, and the regressions that exceeded their tolerance.
+type Comparison struct {
+	// WallRatio and AllocRatio are current/baseline for min wall time
+	// and mean allocation (1 = unchanged).
+	WallRatio, AllocRatio float64
+	// Stages is the per-stage wall-time breakdown, sorted by name.
+	Stages []StageDelta
+	// Regressions describes every tolerance the current result blew.
+	Regressions []string
+}
+
+// Compare measures cur against base. Wall time regresses when cur's
+// fastest iteration is more than wallTol (relative) slower than base's;
+// allocation regresses when cur's mean allocation is more than allocTol
+// above base's. Wall clock is machine- and load-dependent, so wallTol
+// should be generous in CI; allocation is nearly deterministic, so
+// allocTol can be tight. Per-stage deltas are informational only —
+// stages can trade time against each other without the total moving.
+func Compare(cur, base *Result, wallTol, allocTol float64) *Comparison {
+	c := &Comparison{WallRatio: ratio(cur.MinWallUS(), base.MinWallUS()),
+		AllocRatio: ratio(cur.MeanAllocBytes(), base.MeanAllocBytes())}
+	if c.WallRatio > 1+wallTol {
+		c.Regressions = append(c.Regressions,
+			fmt.Sprintf("wall time %.1fms -> %.1fms (%+.1f%%, tolerance %.0f%%)",
+				float64(base.MinWallUS())/1000, float64(cur.MinWallUS())/1000,
+				(c.WallRatio-1)*100, wallTol*100))
+	}
+	if c.AllocRatio > 1+allocTol {
+		c.Regressions = append(c.Regressions,
+			fmt.Sprintf("allocation %s -> %s (%+.1f%%, tolerance %.0f%%)",
+				formatBytes(base.MeanAllocBytes()), formatBytes(cur.MeanAllocBytes()),
+				(c.AllocRatio-1)*100, allocTol*100))
+	}
+	seen := map[string]bool{}
+	for _, name := range append(base.StageNames(), cur.StageNames()...) {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		d := StageDelta{Stage: name, BaseUS: base.minStageWallUS(name), CurUS: cur.minStageWallUS(name)}
+		d.Ratio = ratio(d.CurUS, d.BaseUS)
+		c.Stages = append(c.Stages, d)
+	}
+	return c
+}
+
+// ratio returns cur/base as a float, or 0 when base is 0.
+func ratio(cur, base uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return float64(cur) / float64(base)
+}
+
+// Err returns an error naming every regression, or nil when the
+// comparison passed.
+func (c *Comparison) Err() error {
+	if len(c.Regressions) == 0 {
+		return nil
+	}
+	msg := "bench: regression vs baseline:"
+	for _, r := range c.Regressions {
+		msg += "\n  " + r
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// Write renders the comparison as a table.
+func (c *Comparison) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "bench: vs baseline: wall %+.1f%%, alloc %+.1f%%\n",
+		(c.WallRatio-1)*100, (c.AllocRatio-1)*100); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-14s %12s %12s %8s\n", "stage", "base", "current", "delta"); err != nil {
+		return err
+	}
+	for _, d := range c.Stages {
+		delta := "new"
+		if d.BaseUS > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (d.Ratio-1)*100)
+		}
+		if _, err := fmt.Fprintf(w, "  %-14s %10.1fms %10.1fms %8s\n",
+			d.Stage, float64(d.BaseUS)/1000, float64(d.CurUS)/1000, delta); err != nil {
+			return err
+		}
+	}
+	for _, r := range c.Regressions {
+		if _, err := fmt.Fprintf(w, "  REGRESSION %s\n", r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

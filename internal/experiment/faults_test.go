@@ -59,6 +59,22 @@ func TestRetryRecoversInjectedFaults(t *testing.T) {
 	if n := o.Counter("pipeline.retries").Value(); n != 4 {
 		t.Fatalf("retries = %d, want 4", n)
 	}
+	// Fired faults are attributed to their stage hook, retries to the
+	// enclosing stage envelope — the per-stage observability chaos runs
+	// rely on.
+	for _, hook := range []string{"compile", "profile.task", "mapping", "clustering.task", "evaluate.task"} {
+		if n := o.Counter("pipeline.faults_injected." + hook).Value(); n != 1 {
+			t.Errorf("faults_injected.%s = %d, want 1", hook, n)
+		}
+	}
+	for stage, want := range map[string]uint64{
+		"compile": 1, "profile": 1, "mapping": 1, "evaluate": 1,
+		"clustering": 0, // the delay fault succeeds in place
+	} {
+		if n := o.Counter("pipeline.retries." + stage).Value(); n != want {
+			t.Errorf("retries.%s = %d, want %d", stage, n, want)
+		}
+	}
 }
 
 // A hang fault blocks until the stage deadline expires; the expiry is
@@ -212,5 +228,42 @@ func TestRunSpecDeterministic(t *testing.T) {
 	}
 	if a.Fingerprint() != b.Fingerprint() {
 		t.Fatalf("spec runs diverged: %s != %s", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+// A faulted run with a flight recorder attached must journal the stage
+// lifecycle, the fired fault, and the retry as structured events.
+func TestFlightRecorderJournalsFaultsAndRetries(t *testing.T) {
+	inj := faults.NewInjector(
+		faults.Rule{Stage: "mapping", Index: 0, Kind: faults.KindError},
+	)
+	o := obs.New()
+	o.Events = obs.NewRecorder(256)
+	ctx := obs.With(faults.With(context.Background(), inj), o)
+	if _, err := RunBenchmarkCtx(ctx, "gzip", retryConfig("gzip")); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, ev := range o.Events.Events() {
+		kinds[ev.Kind]++
+		switch ev.Kind {
+		case "fault":
+			if ev.Stage != "mapping" || !strings.Contains(ev.Detail, "error fault") {
+				t.Errorf("fault event = %+v", ev)
+			}
+		case "stage.retry":
+			if ev.Stage != "mapping" || ev.Benchmark != "gzip" {
+				t.Errorf("retry event = %+v", ev)
+			}
+		}
+	}
+	// Six stages start and finish; the faulted mapping attempt adds one
+	// extra start. The fault and the retry each appear exactly once, and
+	// nothing failed terminally.
+	if kinds["stage.start"] != 7 || kinds["stage.finish"] != 6 {
+		t.Errorf("stage lifecycle events = %v, want 7 starts / 6 finishes", kinds)
+	}
+	if kinds["fault"] != 1 || kinds["stage.retry"] != 1 || kinds["stage.fail"] != 0 {
+		t.Errorf("event kinds = %v", kinds)
 	}
 }

@@ -160,10 +160,11 @@ func RunSpecCtx(ctx context.Context, spec program.Spec, cfg Config) (*BenchmarkR
 // re-run it after a transient failure without residue from the failed
 // attempt.
 func runPipeline(ctx context.Context, name string, gen func() (*program.Program, error), cfg Config) (*BenchmarkResult, error) {
+	o := obs.From(ctx)
 	if cfg.workerPool == nil {
 		cfg.workerPool = pool.New(cfg.Workers)
+		instrumentPool(cfg.workerPool, o)
 	}
-	o := obs.From(ctx)
 	ctx, bspan := obs.StartSpan(ctx, "benchmark")
 	bspan.Annotate(name)
 	defer bspan.End()
@@ -426,6 +427,22 @@ func evaluateBinary(ctx context.Context, cfg Config, bins []*compiler.Binary, bi
 // vliGaugeMu serializes publication of the per-phase VLI weight gauges
 // across concurrently evaluated binaries.
 var vliGaugeMu sync.Mutex
+
+// instrumentPool attaches the worker pool's resource metrics — task
+// counts, busy/peak occupancy, and per-task queue wait — to the
+// observer's registry. A nil observer leaves the pool uninstrumented,
+// preserving the observability-off zero-cost contract.
+func instrumentPool(p *pool.Pool, o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	p.Instrument(pool.Metrics{
+		Tasks:     o.Counter("pool.tasks"),
+		Busy:      o.Gauge("pool.busy_workers"),
+		BusyPeak:  o.Gauge("pool.busy_peak"),
+		QueueWait: o.Histogram("pool.queue_wait_us"),
+	})
+}
 
 // simulatePoints runs one region-gated simulation walk and returns, per
 // phase, the measured CPI of its simulation point and the representative
@@ -691,6 +708,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Suite, error) {
 	}
 	cfg.workerPool = pool.New(cfg.Workers)
 	o := obs.From(ctx)
+	instrumentPool(cfg.workerPool, o)
 	cfgFP := cfg.fingerprint()
 	results := make([]*BenchmarkResult, len(cfg.Benchmarks))
 	errs := make([]error, len(cfg.Benchmarks))
@@ -709,12 +727,14 @@ func RunCtx(ctx context.Context, cfg Config) (*Suite, error) {
 				case err == nil:
 					results[i] = r
 					o.Counter("pipeline.checkpoints_loaded").Inc()
+					o.Emit(obs.PipelineEvent{Kind: "checkpoint", Benchmark: name, Detail: "loaded"})
 					o.Report(obs.Event{Benchmark: name, Stage: "resumed from checkpoint",
 						Done: int(done.Add(1)), Total: len(cfg.Benchmarks)})
 					return
 				case !errors.Is(err, errNoCheckpoint):
 					// Corrupt or stale checkpoint: recompute from scratch.
 					o.Counter("pipeline.checkpoints_invalid").Inc()
+					o.Emit(obs.PipelineEvent{Kind: "checkpoint", Benchmark: name, Detail: "invalid: " + err.Error()})
 					o.Report(obs.Event{Benchmark: name, Stage: "checkpoint invalid, recomputing"})
 				}
 			}
@@ -731,7 +751,10 @@ func RunCtx(ctx context.Context, cfg Config) (*Suite, error) {
 				if err := saveCheckpoint(cfg.CheckpointDir, r, cfgFP); err != nil {
 					// A checkpoint write failure costs resumability, not
 					// correctness: report it and keep the result.
+					o.Emit(obs.PipelineEvent{Kind: "checkpoint", Benchmark: name, Detail: "write failed: " + err.Error()})
 					o.Report(obs.Event{Benchmark: name, Stage: "checkpoint write failed: " + err.Error()})
+				} else {
+					o.Emit(obs.PipelineEvent{Kind: "checkpoint", Benchmark: name, Detail: "saved"})
 				}
 			}
 			o.Report(obs.Event{Benchmark: name, Stage: "done",

@@ -78,6 +78,11 @@ func transientError(err error) bool {
 // deadline, observer, and fault injector all travel on it — and must be
 // idempotent: every attempt starts from scratch, so stages allocate
 // their result slots inside fn.
+//
+// Every attempt is additionally accounted as a resource sample
+// (stage.<name>.duration_us/alloc_bytes/gc_cycles/goroutines_peak, see
+// obs.StageSample) and journaled in the flight recorder as
+// stage.start/stage.finish/stage.retry/stage.fail events.
 func runStage(ctx context.Context, cfg Config, bench, stage string, fn func(ctx context.Context) error) error {
 	o := obs.From(ctx)
 	retry := cfg.Retry.withDefaults()
@@ -88,24 +93,31 @@ func runStage(ctx context.Context, cfg Config, bench, stage string, fn func(ctx 
 		if cfg.StageTimeout > 0 {
 			sctx, cancel = context.WithTimeout(ctx, cfg.StageTimeout)
 		}
+		o.Emit(obs.PipelineEvent{Kind: "stage.start", Benchmark: bench, Stage: stage})
 		err := pool.Protect(func() error {
 			if err := faults.Hit(sctx, stage); err != nil {
 				return err
 			}
+			sample := o.StartStage(stage)
+			defer sample.Done()
 			return fn(sctx)
 		})
 		if cancel != nil {
 			cancel()
 		}
 		if err == nil {
+			o.Emit(obs.PipelineEvent{Kind: "stage.finish", Benchmark: bench, Stage: stage})
 			return nil
 		}
 		// Never retry when the caller is gone, out of attempts, or the
 		// failure is deterministic.
 		if ctx.Err() != nil || attempt >= retry.MaxRetries || !transientError(err) {
+			o.Emit(obs.PipelineEvent{Kind: "stage.fail", Benchmark: bench, Stage: stage, Detail: err.Error()})
 			return err
 		}
 		o.Counter("pipeline.retries").Inc()
+		o.Counter("pipeline.retries." + stage).Inc()
+		o.Emit(obs.PipelineEvent{Kind: "stage.retry", Benchmark: bench, Stage: stage, Detail: err.Error()})
 		o.Report(obs.Event{Benchmark: bench, Stage: stage + " retry"})
 		if rng == nil {
 			rng = xrand.New(cfg.Seed + "/backoff/" + bench + "/" + stage)

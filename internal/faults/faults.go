@@ -230,7 +230,15 @@ func (in *Injector) hit(ctx context.Context, stage string) error {
 	if !ok {
 		return nil
 	}
-	obs.From(ctx).Counter("pipeline.faults_injected").Inc()
+	// Fired faults are observable per stage hook (so chaos runs show
+	// where the schedule landed) and as a flight-recorder event.
+	o := obs.From(ctx)
+	o.Counter("pipeline.faults_injected").Inc()
+	o.Counter("pipeline.faults_injected." + stage).Inc()
+	o.Emit(obs.PipelineEvent{
+		Kind: "fault", Stage: stage,
+		Detail: fmt.Sprintf("%s fault at invocation %d", rule.Kind, idx),
+	})
 	ie := &InjectedError{Stage: stage, Index: idx, Kind: rule.Kind}
 	switch rule.Kind {
 	case KindPanic:

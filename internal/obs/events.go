@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// PipelineEvent is one structured entry in the pipeline's flight
+// recorder: a stage starting, finishing, retrying, an injected fault
+// firing, a checkpoint being loaded or saved, or a coarse progress
+// update. Events are small, flat, and JSON-stable — the same struct is
+// served live from the telemetry server's /events endpoint and
+// persisted as one JSONL line per event.
+type PipelineEvent struct {
+	// Seq is the recorder-assigned sequence number, 1-based and strictly
+	// increasing; gaps never occur, so Seq exposes eviction to readers.
+	Seq uint64 `json:"seq"`
+	// Time is the recorder-assigned wall-clock timestamp.
+	Time time.Time `json:"time"`
+	// Kind classifies the event: "stage.start", "stage.finish",
+	// "stage.retry", "stage.fail", "fault", "checkpoint", "progress".
+	Kind string `json:"kind"`
+	// Benchmark, Binary, and Stage locate the event in the pipeline
+	// (any may be empty).
+	Benchmark string `json:"benchmark,omitempty"`
+	Binary    string `json:"binary,omitempty"`
+	Stage     string `json:"stage,omitempty"`
+	// Detail is a free-form annotation (error text, fault kind, ...).
+	Detail string `json:"detail,omitempty"`
+	// Done and Total, when Total > 0, carry suite-level completion.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+}
+
+// BenchmarkState is the most recent recorded state of one benchmark,
+// maintained by the recorder for the live /progress view.
+type BenchmarkState struct {
+	// Kind and Stage are from the benchmark's latest event.
+	Kind  string `json:"kind"`
+	Stage string `json:"stage"`
+	// Binary is the binary the latest event concerned, if any.
+	Binary string `json:"binary,omitempty"`
+	// Seq is the latest event's sequence number.
+	Seq uint64 `json:"seq"`
+	// Updated is the latest event's timestamp.
+	Updated time.Time `json:"updated"`
+}
+
+// Recorder is a bounded in-memory flight recorder of pipeline events.
+// It keeps the most recent capacity events in a ring buffer (older
+// events are evicted in order), tracks per-benchmark latest state, and
+// optionally streams every event as a JSONL line to a writer the moment
+// it is recorded — so a crash leaves the already-written lines behind.
+// A nil *Recorder discards events; all methods are safe for concurrent
+// use.
+type Recorder struct {
+	mu  sync.Mutex
+	now func() time.Time
+
+	buf   []PipelineEvent // ring storage, len == capacity
+	start int             // index of the oldest event
+	n     int             // events currently buffered
+	seq   uint64          // last assigned sequence number
+
+	w *bufio.Writer // optional JSONL sink
+	// werr remembers the first JSONL write failure so Flush can report it.
+	werr error
+
+	states map[string]BenchmarkState
+	done   int
+	total  int
+}
+
+// DefaultRecorderCapacity bounds the CLI's flight recorder: enough for
+// every stage event of a full 21-benchmark suite with retries, small
+// enough to be irrelevant in memory.
+const DefaultRecorderCapacity = 4096
+
+// NewRecorder returns a recorder holding at most capacity events
+// (capacity <= 0 uses DefaultRecorderCapacity).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCapacity
+	}
+	return &Recorder{
+		buf:    make([]PipelineEvent, capacity),
+		now:    time.Now,
+		states: map[string]BenchmarkState{},
+	}
+}
+
+// SetClock injects the time source — for deterministic tests.
+func (r *Recorder) SetClock(now func() time.Time) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.now = now
+	r.mu.Unlock()
+}
+
+// SetOutput streams every subsequently recorded event to w as one JSON
+// line. Writes happen under the recorder's lock at record time, so the
+// file tails the run live and survives a mid-run crash up to the last
+// event. Pass nil to stop streaming. Call Flush before closing the
+// underlying file.
+func (r *Recorder) SetOutput(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w == nil {
+		r.w = nil
+		return
+	}
+	r.w = bufio.NewWriter(w)
+}
+
+// Flush flushes the JSONL sink and returns the first write error seen.
+func (r *Recorder) Flush() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.w != nil {
+		if err := r.w.Flush(); err != nil && r.werr == nil {
+			r.werr = err
+		}
+	}
+	return r.werr
+}
+
+// Record stamps the event with the next sequence number and the current
+// time, appends it to the ring (evicting the oldest event when full),
+// updates the per-benchmark state, and streams the JSONL line if a sink
+// is attached.
+func (r *Recorder) Record(ev PipelineEvent) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	ev.Seq = r.seq
+	ev.Time = r.now()
+
+	if r.n == len(r.buf) {
+		r.start = (r.start + 1) % len(r.buf)
+		r.n--
+	}
+	r.buf[(r.start+r.n)%len(r.buf)] = ev
+	r.n++
+
+	if ev.Benchmark != "" {
+		r.states[ev.Benchmark] = BenchmarkState{
+			Kind: ev.Kind, Stage: ev.Stage, Binary: ev.Binary,
+			Seq: ev.Seq, Updated: ev.Time,
+		}
+	}
+	if ev.Total > 0 {
+		r.done, r.total = ev.Done, ev.Total
+	}
+
+	if r.w != nil {
+		line, err := json.Marshal(ev)
+		if err == nil {
+			line = append(line, '\n')
+			_, err = r.w.Write(line)
+		}
+		if err != nil && r.werr == nil {
+			r.werr = err
+		}
+	}
+}
+
+// Events returns the buffered events oldest-first. A nil recorder
+// returns nil.
+func (r *Recorder) Events() []PipelineEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]PipelineEvent, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Len returns the number of buffered events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Dropped returns how many events the ring has evicted so far.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq - uint64(r.n)
+}
+
+// BenchmarkStates returns a copy of every benchmark's latest state.
+func (r *Recorder) BenchmarkStates() map[string]BenchmarkState {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]BenchmarkState, len(r.states))
+	for k, v := range r.states {
+		out[k] = v
+	}
+	return out
+}
+
+// SuiteProgress returns the most recent suite-level (done, total)
+// completion counts, (0, 0) before any suite event.
+func (r *Recorder) SuiteProgress() (done, total int) {
+	if r == nil {
+		return 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done, r.total
+}
+
+// ReadEvents decodes a JSONL event stream (as written via SetOutput)
+// back into events — the round-trip inverse of the recorder's sink.
+func ReadEvents(rd io.Reader) ([]PipelineEvent, error) {
+	dec := json.NewDecoder(rd)
+	var out []PipelineEvent
+	for {
+		var ev PipelineEvent
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, ev)
+	}
+}

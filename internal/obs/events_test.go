@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// eventClock returns a deterministic recorder clock advancing 1s per
+// reading, starting at the epoch.
+func eventClock() func() time.Time {
+	t := time.Unix(0, 0).UTC()
+	return func() time.Time {
+		t = t.Add(time.Second)
+		return t
+	}
+}
+
+func TestRecorderSequencesAndStamps(t *testing.T) {
+	r := NewRecorder(8)
+	r.SetClock(eventClock())
+	r.Record(PipelineEvent{Kind: "stage.start", Benchmark: "gcc", Stage: "profile"})
+	r.Record(PipelineEvent{Kind: "stage.finish", Benchmark: "gcc", Stage: "profile"})
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("%d events, want 2", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, i+1)
+		}
+		if ev.Time.IsZero() {
+			t.Fatalf("event %d not timestamped", i)
+		}
+	}
+	if evs[1].Time.Before(evs[0].Time) {
+		t.Fatal("timestamps not monotone")
+	}
+}
+
+// The ring must evict oldest-first: after overfilling, the buffer holds
+// exactly the newest capacity events in order, and Dropped counts the
+// rest.
+func TestRecorderBoundedEvictionOrder(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(PipelineEvent{Kind: "stage.start", Detail: fmt.Sprintf("ev%d", i)})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("%d events buffered, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(7 + i) // events 7,8,9,10 survive
+		wantDetail := fmt.Sprintf("ev%d", 6+i)
+		if ev.Seq != wantSeq || ev.Detail != wantDetail {
+			t.Fatalf("slot %d = seq %d detail %q, want seq %d detail %q",
+				i, ev.Seq, ev.Detail, wantSeq, wantDetail)
+		}
+	}
+	if got := r.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+}
+
+// Concurrent writers (run under -race in CI) must each get a unique
+// sequence number and never corrupt the ring.
+func TestRecorderConcurrentWriters(t *testing.T) {
+	const writers, perWriter = 8, 200
+	r := NewRecorder(64)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Record(PipelineEvent{Kind: "fault", Benchmark: fmt.Sprintf("b%d", w)})
+				r.Events()
+				r.BenchmarkStates()
+			}
+		}(w)
+	}
+	wg.Wait()
+	evs := r.Events()
+	if len(evs) != 64 {
+		t.Fatalf("%d events buffered, want capacity 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("non-contiguous sequence: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	if evs[len(evs)-1].Seq != writers*perWriter {
+		t.Fatalf("last seq = %d, want %d", evs[len(evs)-1].Seq, writers*perWriter)
+	}
+}
+
+// Events streamed as JSONL must decode back bit-identically, including
+// eviction survivors: the file holds every event, the ring only the
+// newest.
+func TestRecorderJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(2)
+	r.SetClock(eventClock())
+	r.SetOutput(&buf)
+	want := []PipelineEvent{
+		{Kind: "stage.start", Benchmark: "gcc", Stage: "profile"},
+		{Kind: "fault", Benchmark: "gcc", Stage: "profile.task", Detail: "panic"},
+		{Kind: "stage.retry", Benchmark: "gcc", Stage: "profile"},
+		{Kind: "progress", Benchmark: "gcc", Done: 1, Total: 5},
+	}
+	for _, ev := range want {
+		r.Record(ev)
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d events, want %d (the JSONL stream must outlive ring eviction)", len(got), len(want))
+	}
+	for i, ev := range got {
+		w := want[i]
+		w.Seq = uint64(i + 1)
+		if !ev.Time.Equal(time.Unix(int64(i+1), 0).UTC()) {
+			t.Fatalf("event %d time = %v, want %v", i, ev.Time, time.Unix(int64(i+1), 0).UTC())
+		}
+		ev.Time, w.Time = time.Time{}, time.Time{}
+		if !reflect.DeepEqual(ev, w) {
+			t.Fatalf("event %d round-tripped to %+v, want %+v", i, ev, w)
+		}
+	}
+}
+
+func TestRecorderBenchmarkStatesAndSuiteProgress(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(PipelineEvent{Kind: "stage.start", Benchmark: "gcc", Stage: "profile", Binary: "32u"})
+	r.Record(PipelineEvent{Kind: "stage.start", Benchmark: "apsi", Stage: "compile"})
+	r.Record(PipelineEvent{Kind: "progress", Benchmark: "gcc", Stage: "done", Done: 1, Total: 2})
+	states := r.BenchmarkStates()
+	if len(states) != 2 {
+		t.Fatalf("%d benchmark states, want 2", len(states))
+	}
+	if st := states["gcc"]; st.Stage != "done" || st.Kind != "progress" || st.Seq != 3 {
+		t.Fatalf("gcc state = %+v, want latest event (stage done, seq 3)", st)
+	}
+	if st := states["apsi"]; st.Stage != "compile" || st.Binary != "" {
+		t.Fatalf("apsi state = %+v", st)
+	}
+	done, total := r.SuiteProgress()
+	if done != 1 || total != 2 {
+		t.Fatalf("suite progress = %d/%d, want 1/2", done, total)
+	}
+}
+
+// A nil recorder — and an observer without one — must discard
+// everything without panicking.
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(PipelineEvent{Kind: "fault"})
+	r.SetOutput(&bytes.Buffer{})
+	r.SetClock(time.Now)
+	if r.Events() != nil || r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatal("nil recorder not inert")
+	}
+	if r.BenchmarkStates() != nil {
+		t.Fatal("nil recorder returned states")
+	}
+	if d, tot := r.SuiteProgress(); d != 0 || tot != 0 {
+		t.Fatal("nil recorder returned progress")
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	o := New() // no Events attached
+	o.Emit(PipelineEvent{Kind: "fault"})
+	o.Report(Event{Benchmark: "gcc", Stage: "profile"})
+	var nilObs *Observer
+	nilObs.Emit(PipelineEvent{Kind: "fault"})
+}
+
+// Observer.Report must mirror progress events into the recorder.
+func TestObserverReportFeedsRecorder(t *testing.T) {
+	o := New()
+	o.Events = NewRecorder(8)
+	o.Report(Event{Benchmark: "gcc", Binary: "32u", Stage: "profile"})
+	evs := o.Events.Events()
+	if len(evs) != 1 {
+		t.Fatalf("%d events, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.Kind != "progress" || ev.Benchmark != "gcc" || ev.Binary != "32u" || ev.Stage != "profile" {
+		t.Fatalf("recorded %+v", ev)
+	}
+}

@@ -57,6 +57,38 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
+// Add atomically adds delta to the gauge (CAS loop), for gauges used as
+// up/down counters like the worker pool's busy count.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// SetMax atomically raises the gauge to v if v exceeds the current
+// value, for high-water marks like peak goroutine counts.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
 // histBuckets is the number of power-of-two histogram buckets: bucket i
 // counts observations v with bits.Len64(v) == i, i.e. bucket 0 holds
 // zeros and bucket i (i > 0) holds [2^(i-1), 2^i).
@@ -186,6 +218,17 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot
 }
 
+// CounterNames returns the counter names in sorted order. Every dump
+// and exposition path iterates through these name lists, so any
+// rendering of a snapshot is deterministic.
+func (s Snapshot) CounterNames() []string { return sortedKeys(s.Counters) }
+
+// GaugeNames returns the gauge names in sorted order.
+func (s Snapshot) GaugeNames() []string { return sortedKeys(s.Gauges) }
+
+// HistogramNames returns the histogram names in sorted order.
+func (s Snapshot) HistogramNames() []string { return sortedKeys(s.Histograms) }
+
 // Snapshot copies the current value of every registered metric. A nil
 // registry yields an empty snapshot.
 func (r *Registry) Snapshot() Snapshot {
@@ -228,17 +271,17 @@ func (r *Registry) WriteText(w io.Writer) error {
 
 // WriteText renders the snapshot in the registry's text format.
 func (s Snapshot) WriteText(w io.Writer) error {
-	for _, name := range sortedKeys(s.Counters) {
+	for _, name := range s.CounterNames() {
 		if _, err := fmt.Fprintf(w, "counter %s %d\n", name, s.Counters[name]); err != nil {
 			return err
 		}
 	}
-	for _, name := range sortedKeys(s.Gauges) {
+	for _, name := range s.GaugeNames() {
 		if _, err := fmt.Fprintf(w, "gauge %s %g\n", name, s.Gauges[name]); err != nil {
 			return err
 		}
 	}
-	for _, name := range sortedKeys(s.Histograms) {
+	for _, name := range s.HistogramNames() {
 		h := s.Histograms[name]
 		if _, err := fmt.Fprintf(w, "histogram %s count %d sum %d mean %.4g\n",
 			name, h.Count, h.Sum, h.Mean()); err != nil {

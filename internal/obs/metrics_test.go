@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -173,5 +174,63 @@ func BenchmarkNoopHistogramObserve(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h.Observe(uint64(i))
+	}
+}
+
+func TestGaugeAddAndSetMax(t *testing.T) {
+	var g Gauge
+	g.Add(2.5)
+	g.Add(-1)
+	if v := g.Value(); v != 1.5 {
+		t.Fatalf("after Add: %v", v)
+	}
+	g.SetMax(3)
+	if v := g.Value(); v != 3 {
+		t.Fatalf("after SetMax(3): %v", v)
+	}
+	g.SetMax(2) // lower: must not regress
+	if v := g.Value(); v != 3 {
+		t.Fatalf("SetMax lowered the gauge to %v", v)
+	}
+	var nilG *Gauge
+	nilG.Add(1)
+	nilG.SetMax(1)
+
+	var wg sync.WaitGroup
+	var busy Gauge
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				busy.Add(1)
+				busy.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := busy.Value(); v != 0 {
+		t.Fatalf("concurrent Add lost updates: %v", v)
+	}
+}
+
+// Snapshot name listings are the deterministic iteration order every
+// dump/exposition path uses; they must be sorted.
+func TestSnapshotNamesSorted(t *testing.T) {
+	reg := NewRegistry()
+	for _, n := range []string{"z", "a", "m"} {
+		reg.Counter("c." + n).Inc()
+		reg.Gauge("g." + n).Set(1)
+		reg.Histogram("h." + n).Observe(1)
+	}
+	snap := reg.Snapshot()
+	if got, want := snap.CounterNames(), []string{"c.a", "c.m", "c.z"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("CounterNames = %v", got)
+	}
+	if got, want := snap.GaugeNames(), []string{"g.a", "g.m", "g.z"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("GaugeNames = %v", got)
+	}
+	if got, want := snap.HistogramNames(), []string{"h.a", "h.m", "h.z"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("HistogramNames = %v", got)
 	}
 }

@@ -27,6 +27,9 @@ type Observer struct {
 	Tracer *Tracer
 	// Progress receives coarse per-stage progress events.
 	Progress *Progress
+	// Events is the structured-event flight recorder; progress events
+	// and Emit calls land here when it is non-nil.
+	Events *Recorder
 }
 
 // New returns an Observer with a fresh registry and tracer (no progress
@@ -80,12 +83,27 @@ func (o *Observer) Histogram(name string) *Histogram {
 	return o.Metrics.Histogram(name)
 }
 
-// Report forwards a progress event to the progress sink, if any.
+// Report forwards a progress event to the progress sink, if any, and
+// mirrors it into the flight recorder as a "progress" event so the live
+// /progress view tracks per-benchmark state.
 func (o *Observer) Report(ev Event) {
 	if o == nil {
 		return
 	}
 	o.Progress.Report(ev)
+	o.Events.Record(PipelineEvent{
+		Kind: "progress", Benchmark: ev.Benchmark, Binary: ev.Binary,
+		Stage: ev.Stage, Done: ev.Done, Total: ev.Total,
+	})
+}
+
+// Emit records a structured event in the flight recorder, if one is
+// attached. The recorder stamps Seq and Time.
+func (o *Observer) Emit(ev PipelineEvent) {
+	if o == nil {
+		return
+	}
+	o.Events.Record(ev)
 }
 
 // StartSpan opens a span named name on the context's tracer. It returns a

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// StageSample measures one pipeline-stage attempt's resource cost:
+// wall time, bytes allocated, GC cycles completed, and the goroutine
+// count observed at the stage's boundaries. Obtain one from
+// Observer.StartStage and call Done exactly once; a nil *StageSample
+// (from a nil observer) ignores Done, so instrumented code never
+// branches on whether accounting is enabled.
+//
+// Allocation and GC deltas are process-wide: runtime.MemStats cannot
+// attribute allocations to a goroutine, so stages that run concurrently
+// (parallel benchmarks) each charge themselves the whole process's
+// activity during their window. Within one benchmark the stages are
+// sequential, so serial runs (Workers=1, Parallelism=1 — the bench
+// harness configuration) attribute exactly.
+type StageSample struct {
+	o      *Observer
+	stage  string
+	start  time.Time
+	g0     int
+	alloc0 uint64
+	numGC0 uint32
+}
+
+// StartStage begins a resource sample for the named stage. Returns nil
+// (a no-op sample) when the observer or its registry is nil.
+func (o *Observer) StartStage(stage string) *StageSample {
+	if o == nil || o.Metrics == nil {
+		return nil
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &StageSample{
+		o:      o,
+		stage:  stage,
+		start:  time.Now(),
+		g0:     runtime.NumGoroutine(),
+		alloc0: ms.TotalAlloc,
+		numGC0: ms.NumGC,
+	}
+}
+
+// Done closes the sample and publishes the stage's resource metrics:
+//
+//	stage.<name>.duration_us      histogram  attempt wall time (µs)
+//	stage.<name>.alloc_bytes      counter    bytes allocated during the attempt
+//	stage.<name>.gc_cycles        counter    GC cycles completed during the attempt
+//	stage.<name>.goroutines_peak  gauge      max goroutine count seen at the boundaries
+func (s *StageSample) Done() {
+	if s == nil {
+		return
+	}
+	elapsed := time.Since(s.start)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	g := runtime.NumGoroutine()
+	if s.g0 > g {
+		g = s.g0
+	}
+	prefix := "stage." + s.stage
+	s.o.Histogram(prefix + ".duration_us").Observe(uint64(elapsed.Microseconds()))
+	s.o.Counter(prefix + ".alloc_bytes").Add(ms.TotalAlloc - s.alloc0)
+	s.o.Counter(prefix + ".gc_cycles").Add(uint64(ms.NumGC - s.numGC0))
+	s.o.Gauge(prefix + ".goroutines_peak").SetMax(float64(g))
+}

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// StartStage/Done must publish the full per-stage resource metric set
+// under the stage.<name>.* names, and be inert without an observer.
+func TestStageSamplePublishesResourceMetrics(t *testing.T) {
+	o := New()
+	s := o.StartStage("profile")
+	// Allocate something attributable so alloc_bytes is non-zero.
+	sink := make([]byte, 1<<20)
+	_ = sink[0]
+	s.Done()
+
+	snap := o.Metrics.Snapshot()
+	h, ok := snap.Histograms["stage.profile.duration_us"]
+	if !ok || h.Count != 1 {
+		t.Fatalf("duration histogram = %+v (ok=%v), want one observation", h, ok)
+	}
+	if v := snap.Counters["stage.profile.alloc_bytes"]; v < 1<<20 {
+		t.Fatalf("alloc_bytes = %d, want >= 1MiB", v)
+	}
+	if _, ok := snap.Counters["stage.profile.gc_cycles"]; !ok {
+		t.Fatal("gc_cycles counter missing")
+	}
+	if v := snap.Gauges["stage.profile.goroutines_peak"]; v < 1 {
+		t.Fatalf("goroutines_peak = %v", v)
+	}
+	for _, name := range snap.CounterNames() {
+		if strings.HasPrefix(name, "stage.") && !strings.HasPrefix(name, "stage.profile.") {
+			t.Fatalf("unexpected stage metric %q", name)
+		}
+	}
+
+	var nilObs *Observer
+	nilObs.StartStage("x").Done() // must be a no-op, not a panic
+	(*StageSample)(nil).Done()
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -187,6 +188,31 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(trace)
+}
+
+// AutoFlush arranges for the Chrome trace to be written to w exactly
+// once: either when ctx is cancelled (a goroutine flushes immediately,
+// so an interrupted run still leaves a complete, loadable JSON file —
+// unended spans are emitted with their elapsed time) or when the
+// returned flush function is called on the normal exit path, whichever
+// happens first. The flush function is idempotent and returns the write
+// error of whichever flush actually ran. A nil tracer returns a no-op
+// flush.
+func (t *Tracer) AutoFlush(ctx context.Context, w io.Writer) (flush func() error) {
+	if t == nil {
+		return func() error { return nil }
+	}
+	var once sync.Once
+	var err error
+	flush = func() error {
+		once.Do(func() { err = t.WriteChromeTrace(w) })
+		return err
+	}
+	go func() {
+		<-ctx.Done()
+		flush()
+	}()
+	return flush
 }
 
 // treeNode aggregates same-named sibling spans for the timing tree.

@@ -3,10 +3,12 @@ package obs
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -251,5 +253,89 @@ func BenchmarkNoopStartSpan(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, sp := StartSpan(ctx, "stage.compile")
 		sp.End()
+	}
+}
+
+// syncBuffer is a mutex-guarded buffer safe for the AutoFlush goroutine
+// to write while the test polls it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// Cancelling the context must flush a complete, parseable Chrome trace
+// even though the run (and its spans) never finished — the mid-run-exit
+// guarantee for -trace-out.
+func TestAutoFlushOnCancel(t *testing.T) {
+	tr := NewTracerWithClock(fakeClock())
+	o := &Observer{Tracer: tr}
+	ctx, cancel := context.WithCancel(With(context.Background(), o))
+	_, sp := StartSpan(ctx, "benchmark")
+	sp.Annotate("gcc")
+	// sp deliberately never ended: the process is "mid-run".
+
+	var buf syncBuffer
+	flush := tr.AutoFlush(ctx, &buf)
+	if buf.String() != "" {
+		t.Fatal("flushed before cancellation")
+	}
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for buf.String() == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("trace not flushed after context cancellation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &trace); err != nil {
+		t.Fatalf("cancellation flush is not complete JSON: %v\n%s", err, buf.String())
+	}
+	if len(trace.TraceEvents) != 1 || trace.TraceEvents[0]["name"] != "benchmark" {
+		t.Fatalf("trace events = %+v", trace.TraceEvents)
+	}
+	// The normal-exit flush must now be a no-op, not a second copy.
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), `"traceEvents"`); n != 1 {
+		t.Fatalf("trace written %d times, want once", n)
+	}
+}
+
+// On the normal exit path the returned flush writes the trace once,
+// idempotently, and a nil tracer hands back a working no-op.
+func TestAutoFlushNormalExit(t *testing.T) {
+	tr := buildFixtureTrace()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var buf syncBuffer
+	flush := tr.AutoFlush(ctx, &buf)
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), `"traceEvents"`); n != 1 {
+		t.Fatalf("trace written %d times, want once", n)
+	}
+	var nilTr *Tracer
+	if err := nilTr.AutoFlush(ctx, &buf)(); err != nil {
+		t.Fatal(err)
 	}
 }

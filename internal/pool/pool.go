@@ -27,6 +27,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"xbsim/internal/obs"
 )
 
 // PanicError is a panic recovered from one task, attributed to its index
@@ -76,6 +79,31 @@ func Protect(fn func() error) error {
 	return protect(-1, func(int) error { return fn() })
 }
 
+// Metrics is the pool's optional resource-accounting wiring. Every
+// field is nil-safe (the obs handles discard updates when nil), so an
+// uninstrumented pool — the zero Metrics — pays only a monotonic clock
+// read guarded by the enabled flag. Instrumentation never changes
+// results: the pool's output is index-addressed and bit-identical for
+// any schedule.
+type Metrics struct {
+	// Tasks counts tasks executed.
+	Tasks *obs.Counter
+	// Busy tracks the number of tasks currently executing (a high-water
+	// mark survives in BusyPeak).
+	Busy *obs.Gauge
+	// BusyPeak records the highest concurrent task count seen.
+	BusyPeak *obs.Gauge
+	// QueueWait observes, per task, the microseconds between its Run
+	// call starting and the task being claimed by a worker — the time
+	// work spent waiting for pool capacity.
+	QueueWait *obs.Histogram
+}
+
+// enabled reports whether any sink is attached.
+func (m Metrics) enabled() bool {
+	return m.Tasks != nil || m.Busy != nil || m.BusyPeak != nil || m.QueueWait != nil
+}
+
 // Pool is a bounded worker pool. A nil *Pool is valid and runs
 // everything serially on the calling goroutine, so call sites never
 // branch on "is parallelism enabled".
@@ -84,6 +112,10 @@ type Pool struct {
 	// workers-1 because the calling goroutine always works too.
 	tokens  chan struct{}
 	workers int
+
+	// m is the optional metrics wiring; busy backs the Busy gauge.
+	m    Metrics
+	busy atomic.Int64
 }
 
 // New returns a pool that runs at most workers tasks concurrently.
@@ -103,6 +135,32 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
+// Instrument attaches metric sinks to the pool. Call before sharing the
+// pool across goroutines; a nil pool ignores the call.
+func (p *Pool) Instrument(m Metrics) {
+	if p == nil {
+		return
+	}
+	p.m = m
+}
+
+// runTask executes one claimed task through the metrics envelope.
+func (p *Pool) runTask(i int, fn func(i int) error, queued time.Time) error {
+	if p != nil && p.m.enabled() {
+		if !queued.IsZero() {
+			p.m.QueueWait.Observe(uint64(time.Since(queued).Microseconds()))
+		}
+		p.m.Tasks.Inc()
+		p.m.Busy.Add(1)
+		p.m.BusyPeak.SetMax(float64(p.busy.Add(1)))
+		defer func() {
+			p.busy.Add(-1)
+			p.m.Busy.Add(-1)
+		}()
+	}
+	return protect(i, fn)
+}
+
 // Run executes fn(i) for every i in [0, n). Indices are claimed by an
 // atomic counter, so which goroutine runs which index is scheduling-
 // dependent — deterministic output therefore requires fn to write its
@@ -116,10 +174,16 @@ func (p *Pool) Run(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	// queued anchors the queue-wait measurement; zero when the pool is
+	// uninstrumented so the serial fast path stays clock-free.
+	var queued time.Time
+	if p != nil && p.m.enabled() {
+		queued = time.Now()
+	}
 	errs := make([]error, n)
 	if p == nil || p.workers == 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			errs[i] = protect(i, fn)
+			errs[i] = p.runTask(i, fn, queued)
 		}
 		return errors.Join(errs...)
 	}
@@ -131,7 +195,7 @@ func (p *Pool) Run(n int, fn func(i int) error) error {
 			if i >= n {
 				return
 			}
-			errs[i] = protect(i, fn)
+			errs[i] = p.runTask(i, fn, queued)
 		}
 	}
 

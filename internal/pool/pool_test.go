@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"xbsim/internal/obs"
 )
 
 func TestRunCoversEveryIndexExactlyOnce(t *testing.T) {
@@ -156,5 +158,71 @@ func TestParallelMatchesSerial(t *testing.T) {
 		if serial[i] != parallel[i] {
 			t.Fatalf("index %d: serial %d != parallel %d", i, serial[i], parallel[i])
 		}
+	}
+}
+
+// An instrumented pool must account every task (count, queue wait,
+// busy high-water mark) without changing results; an uninstrumented or
+// nil pool must not touch the sinks.
+func TestRunInstrumentation(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := Metrics{
+		Tasks:     reg.Counter("pool.tasks"),
+		Busy:      reg.Gauge("pool.busy_workers"),
+		BusyPeak:  reg.Gauge("pool.busy_peak"),
+		QueueWait: reg.Histogram("pool.queue_wait_us"),
+	}
+	p := New(4)
+	p.Instrument(m)
+	var ran atomic.Int64
+	if err := p.Run(32, func(i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 32 {
+		t.Fatalf("ran %d tasks", ran.Load())
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["pool.tasks"]; got != 32 {
+		t.Fatalf("pool.tasks = %d, want 32", got)
+	}
+	if got := snap.Histograms["pool.queue_wait_us"]; got.Count != 32 {
+		t.Fatalf("queue_wait observations = %d, want 32", got.Count)
+	}
+	if got := snap.Gauges["pool.busy_workers"]; got != 0 {
+		t.Fatalf("busy_workers settled at %v, want 0", got)
+	}
+	peak := snap.Gauges["pool.busy_peak"]
+	if peak < 1 || peak > 4 {
+		t.Fatalf("busy_peak = %v, want within [1, workers]", peak)
+	}
+
+	// Nested Run calls reuse the same instrumented pool without
+	// double-counting the busy bookkeeping.
+	if err := p.Run(2, func(i int) error {
+		return p.Run(2, func(j int) error { return nil })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Gauges["pool.busy_workers"]; got != 0 {
+		t.Fatalf("busy_workers after nested runs = %v, want 0", got)
+	}
+
+	// A panicking task must still release its busy slot.
+	err := p.Run(1, func(i int) error { panic("boom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panic not isolated: %v", err)
+	}
+	if got := reg.Snapshot().Gauges["pool.busy_workers"]; got != 0 {
+		t.Fatalf("busy_workers leaked after panic: %v", got)
+	}
+
+	var nilPool *Pool
+	nilPool.Instrument(m) // must not panic
+	if err := nilPool.Run(4, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -423,12 +423,69 @@ func Appendix(w io.Writer, o *obs.Observer) error {
 		}
 	}
 	if o.Metrics != nil {
+		snap := o.Metrics.Snapshot()
+		if err := StageResources(w, snap); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintln(w, "metrics:"); err != nil {
 			return err
 		}
-		if err := o.Metrics.WriteText(w); err != nil {
+		if err := snap.WriteText(w); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// StageResources renders the per-stage resource-accounting table from a
+// metrics snapshot: attempts, total wall time, bytes allocated, GC
+// cycles, and the peak goroutine count observed, one row per pipeline
+// stage (the stage.<name>.* metric family recorded by runStage). A
+// snapshot without stage metrics writes nothing.
+func StageResources(w io.Writer, snap obs.Snapshot) error {
+	var stages []string
+	for _, name := range snap.HistogramNames() {
+		if s, ok := strings.CutPrefix(name, "stage."); ok {
+			if s, ok := strings.CutSuffix(s, ".duration_us"); ok {
+				stages = append(stages, s)
+			}
+		}
+	}
+	if len(stages) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "stage resources:"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-18s %8s %12s %14s %6s %10s\n",
+		"stage", "attempts", "wall", "alloc", "gc", "peak goros"); err != nil {
+		return err
+	}
+	for _, s := range stages {
+		h := snap.Histograms["stage."+s+".duration_us"]
+		if _, err := fmt.Fprintf(w, "  %-18s %8d %11.1fms %14s %6d %10.0f\n",
+			s, h.Count, float64(h.Sum)/1000,
+			formatBytes(snap.Counters["stage."+s+".alloc_bytes"]),
+			snap.Counters["stage."+s+".gc_cycles"],
+			snap.Gauges["stage."+s+".goroutines_peak"]); err != nil {
+			return err
+		}
+	}
+	// alloc/gc are process-wide runtime deltas: exact under serial runs,
+	// best-effort attribution when stages overlap (DESIGN.md §13).
+	_, err := fmt.Fprintln(w, "  (alloc/gc are process-wide deltas; exact for serial runs)")
+	return err
+}
+
+// formatBytes renders a byte count with a binary unit suffix.
+func formatBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
 }

@@ -7,6 +7,7 @@ import (
 
 	"xbsim/internal/cmpsim"
 	"xbsim/internal/experiment"
+	"xbsim/internal/obs"
 )
 
 func TestFigureRendering(t *testing.T) {
@@ -208,5 +209,39 @@ func TestBenchmarkDetailRendering(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("detail missing %q", want)
 		}
+	}
+}
+
+// The resource appendix must render one row per stage with the
+// formatted wall/alloc/gc/goroutine columns, and stay silent when the
+// snapshot has no stage metrics.
+func TestStageResourcesTable(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Histogram("stage.clustering.duration_us").Observe(2500)
+	r.Counter("stage.clustering.alloc_bytes").Add(3 << 20)
+	r.Counter("stage.clustering.gc_cycles").Add(2)
+	r.Gauge("stage.clustering.goroutines_peak").Set(7)
+	r.Histogram("kmeans.iterations_per_restart").Observe(4) // not a stage metric
+
+	var b strings.Builder
+	if err := StageResources(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"stage resources:", "clustering", "2.5ms", "3.00MiB", "process-wide"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "kmeans") {
+		t.Errorf("non-stage metric leaked into the table:\n%s", out)
+	}
+
+	var empty strings.Builder
+	if err := StageResources(&empty, obs.NewRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Errorf("empty snapshot rendered %q", empty.String())
 	}
 }

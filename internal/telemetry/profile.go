@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles captures CPU and heap profiles for a run (the -profile-dir
+// flag): StartProfiles begins a CPU profile into <dir>/cpu.pprof, and
+// Stop ends it and writes a post-GC heap snapshot to <dir>/heap.pprof.
+// A nil *Profiles is a no-op, so callers can thread the value through
+// unconditionally.
+type Profiles struct {
+	dir string
+	cpu *os.File
+}
+
+// StartProfiles creates dir if needed and starts the CPU profile. An
+// empty dir disables profiling and returns (nil, nil).
+func StartProfiles(dir string) (*Profiles, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("telemetry: profile dir: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+	}
+	return &Profiles{dir: dir, cpu: f}, nil
+}
+
+// Stop ends the CPU profile and writes the heap profile. Call exactly
+// once on the exit path; safe on nil.
+func (p *Profiles) Stop() error {
+	if p == nil {
+		return nil
+	}
+	pprof.StopCPUProfile()
+	if err := p.cpu.Close(); err != nil {
+		return fmt.Errorf("telemetry: cpu profile: %w", err)
+	}
+	f, err := os.Create(filepath.Join(p.dir, "heap.pprof"))
+	if err != nil {
+		return fmt.Errorf("telemetry: heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // settle the heap so the snapshot reflects live objects
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		return fmt.Errorf("telemetry: heap profile: %w", err)
+	}
+	return nil
+}

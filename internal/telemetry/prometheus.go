@@ -1,0 +1,106 @@
+// Package telemetry serves the pipeline's observability state over HTTP
+// while a run is in flight: Prometheus text exposition of the metrics
+// registry, a JSON progress view of the stage tree, the flight recorder's
+// recent structured events, and the standard pprof endpoints. It also
+// captures CPU/heap profiles to disk for the -profile-dir flag.
+//
+// The server is read-only and lossless: every handler renders a
+// point-in-time snapshot of state the pipeline already maintains through
+// internal/obs, so attaching it changes nothing about the run.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"xbsim/internal/obs"
+)
+
+// PrometheusContentType is the Content-Type of the text exposition
+// format rendered by WritePrometheus.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName maps a registry metric name to Prometheus form: prefixed
+// with "xbsim_" and with every byte outside [a-zA-Z0-9_:] replaced by
+// an underscore (so "stage.mapping.duration_us" becomes
+// "xbsim_stage_mapping_duration_us").
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len("xbsim_") + len(name))
+	b.WriteString("xbsim_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// bucketBound returns the inclusive upper bound of power-of-two
+// histogram bucket i as a le label value. Bucket 0 holds zeros, bucket
+// i > 0 holds [2^(i-1), 2^i), so its largest member is 2^i - 1.
+func bucketBound(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4). Counters gain the conventional
+// _total suffix; histograms expand into cumulative _bucket series with
+// le bounds at the power-of-two bucket edges, plus _sum and _count.
+// Iteration follows the snapshot's sorted name lists, so the output is
+// byte-for-byte deterministic for a given snapshot.
+func WritePrometheus(w io.Writer, snap obs.Snapshot) error {
+	ew := &errWriter{w: w}
+	for _, name := range snap.CounterNames() {
+		pn := promName(name) + "_total"
+		ew.printf("# TYPE %s counter\n%s %d\n", pn, pn, snap.Counters[name])
+	}
+	for _, name := range snap.GaugeNames() {
+		pn := promName(name)
+		ew.printf("# TYPE %s gauge\n%s %g\n", pn, pn, snap.Gauges[name])
+	}
+	for _, name := range snap.HistogramNames() {
+		h := snap.Histograms[name]
+		pn := promName(name)
+		ew.printf("# TYPE %s histogram\n", pn)
+		var cum uint64
+		for i, c := range h.Buckets {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			ew.printf("%s_bucket{le=\"%d\"} %d\n", pn, bucketBound(i), cum)
+		}
+		ew.printf("%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		ew.printf("%s_sum %d\n", pn, h.Sum)
+		ew.printf("%s_count %d\n", pn, h.Count)
+	}
+	return ew.err
+}
+
+// errWriter sticks on the first write error so exposition loops stay
+// flat.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"xbsim/internal/obs"
+)
+
+// The exposition format is a stable interface scraped by external
+// tooling, so it is pinned byte-for-byte: sanitized xbsim_ names,
+// _total counters, cumulative le buckets at power-of-two edges with a
+// le="0" zeros bucket and +Inf, sorted within each kind.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("pipeline.retries").Add(3)
+	r.Counter("blocks.total").Add(128)
+	r.Gauge("simpoint.chosen_k").Set(4)
+	h := r.Histogram("stage.mapping.duration_us")
+	for _, v := range []uint64{0, 1, 3, 100} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE xbsim_blocks_total_total counter
+xbsim_blocks_total_total 128
+# TYPE xbsim_pipeline_retries_total counter
+xbsim_pipeline_retries_total 3
+# TYPE xbsim_simpoint_chosen_k gauge
+xbsim_simpoint_chosen_k 4
+# TYPE xbsim_stage_mapping_duration_us histogram
+xbsim_stage_mapping_duration_us_bucket{le="0"} 1
+xbsim_stage_mapping_duration_us_bucket{le="1"} 2
+xbsim_stage_mapping_duration_us_bucket{le="3"} 3
+xbsim_stage_mapping_duration_us_bucket{le="127"} 4
+xbsim_stage_mapping_duration_us_bucket{le="+Inf"} 4
+xbsim_stage_mapping_duration_us_sum 104
+xbsim_stage_mapping_duration_us_count 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// Rendering the same snapshot twice must produce identical bytes —
+// the determinism contract behind the golden test above.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := obs.NewRegistry()
+	for _, name := range []string{"z.last", "a.first", "m.middle"} {
+		r.Counter(name).Inc()
+		r.Gauge("g." + name).Set(1)
+		r.Histogram("h." + name).Observe(7)
+	}
+	snap := r.Snapshot()
+	var a, b strings.Builder
+	if err := WritePrometheus(&a, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two renders of one snapshot differ")
+	}
+	if !strings.Contains(a.String(), "xbsim_a_first_total") {
+		t.Errorf("missing sanitized counter in:\n%s", a.String())
+	}
+}
+
+func TestPromNameSanitizes(t *testing.T) {
+	for in, want := range map[string]string{
+		"pool.queue_wait_us":  "xbsim_pool_queue_wait_us",
+		"stage.vli.alloc":     "xbsim_stage_vli_alloc",
+		"weird-name with:sep": "xbsim_weird_name_with:sep",
+		"faults_injected.a.b": "xbsim_faults_injected_a_b",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// bucketBound must match the histogram's bucket semantics: bucket 0 is
+// zeros, bucket i holds [2^(i-1), 2^i).
+func TestBucketBound(t *testing.T) {
+	for i, want := range map[int]uint64{
+		0: 0, 1: 1, 2: 3, 3: 7, 10: 1023, 63: 1<<63 - 1,
+	} {
+		if got := bucketBound(i); got != want {
+			t.Errorf("bucketBound(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if got := bucketBound(64); got != ^uint64(0) {
+		t.Errorf("bucketBound(64) = %d, want MaxUint64", got)
+	}
+}

@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"xbsim/internal/obs"
+)
+
+// Server exposes an Observer's live state over HTTP. Endpoints:
+//
+//	/metrics     Prometheus text exposition of the metrics registry
+//	/progress    JSON: suite progress, per-benchmark state, span tree
+//	/events      JSON: the flight recorder's recent structured events
+//	/debug/pprof the standard runtime profiling endpoints
+//
+// Handlers snapshot state on every request; the pipeline never blocks
+// on a slow scraper.
+type Server struct {
+	o    *obs.Observer
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Start listens on addr (e.g. "127.0.0.1:9090"; ":0" picks a free
+// port) and serves the observer's state until Close. The observer and
+// any of its fields may be nil — the corresponding endpoints serve
+// empty views.
+func Start(addr string, o *obs.Observer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{o: o, ln: ln, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down, waiting briefly for in-flight requests.
+// Safe on nil.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("xbsim telemetry\n\n" +
+		"/metrics      Prometheus exposition\n" +
+		"/progress     suite + per-benchmark progress (JSON)\n" +
+		"/events       flight recorder events (JSON)\n" +
+		"/debug/pprof  runtime profiles\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var snap obs.Snapshot
+	if s.o != nil {
+		snap = s.o.Metrics.Snapshot()
+	}
+	w.Header().Set("Content-Type", PrometheusContentType)
+	WritePrometheus(w, snap)
+}
+
+// ProgressView is the /progress response body.
+type ProgressView struct {
+	// Done and Total count finished vs scheduled benchmarks.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Benchmarks maps benchmark name to its latest recorded state.
+	Benchmarks map[string]obs.BenchmarkState `json:"benchmarks,omitempty"`
+	// Spans is the tracer's span tree in start order.
+	Spans []obs.SpanView `json:"spans,omitempty"`
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	var view ProgressView
+	if s.o != nil {
+		view.Done, view.Total = s.o.Events.SuiteProgress()
+		view.Benchmarks = s.o.Events.BenchmarkStates()
+		view.Spans = s.o.Tracer.Spans()
+	}
+	writeJSON(w, view)
+}
+
+// EventsView is the /events response body.
+type EventsView struct {
+	// Dropped counts events evicted from the bounded ring.
+	Dropped uint64 `json:"dropped"`
+	// Events holds the retained events, oldest first.
+	Events []obs.PipelineEvent `json:"events"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, _ *http.Request) {
+	view := EventsView{Events: []obs.PipelineEvent{}}
+	if s.o != nil && s.o.Events != nil {
+		view.Dropped = s.o.Events.Dropped()
+		view.Events = s.o.Events.Events()
+	}
+	writeJSON(w, view)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
