@@ -318,6 +318,11 @@ func usage() {
 commands:
   benchmarks                         list synthesizable benchmarks
   profile  -bench B -target T       call/branch profile of one binary
+  profile  [-top N] [-flame-out F] [-benchmarks L] [-json]
+                                     (no -bench) run the quick suite with
+                                     cost attribution on: per-walk cost
+                                     table, redundancy summary, optional
+                                     speedscope flamegraph
   map      -bench B                  cross-binary mappable point summary
   points   -bench B -flavor F -target T [-o FILE]
                                      pick simulation points, emit regions
@@ -392,40 +397,6 @@ func pickBinary(b *xbsim.Benchmark, target string) (*xbsim.Binary, error) {
 		return nil, usagef("unknown target %q (want 32u, 32o, 64u, 64o)", target)
 	}
 	return bin, nil
-}
-
-func cmdProfile(ctx context.Context, args []string, w io.Writer) error {
-	fs := newFlagSet("profile")
-	bench := fs.String("bench", "", "benchmark name")
-	target := fs.String("target", "32u", "binary configuration")
-	ops, _, seed := commonFlags(fs)
-	if err := parseFlags(fs, args); err != nil {
-		return err
-	}
-	b, err := buildBenchmark(*bench, *ops)
-	if err != nil {
-		return err
-	}
-	bin, err := pickBinary(b, *target)
-	if err != nil {
-		return err
-	}
-	p, err := xbsim.CollectProfileCtx(ctx, bin, xbsim.Input{Name: "ref", Seed: *seed})
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "%s: %d instructions, %d symbols, %d loop pieces\n",
-		bin.Name, p.TotalInstructions, len(p.Procs), len(p.Loops))
-	fmt.Fprintln(w, "procedures:")
-	for _, pp := range p.Procs {
-		fmt.Fprintf(w, "  %-12s line %-4d calls %d\n", pp.Symbol, pp.Line, pp.Count)
-	}
-	fmt.Fprintln(w, "loops (line 0 = debug info destroyed by optimization):")
-	for _, lp := range p.Loops {
-		fmt.Fprintf(w, "  line %-4d piece %d in %-12s entries %-8d iterations %d\n",
-			lp.Line, lp.Piece, lp.EnclosingSymbol, lp.EntryCount, lp.BodyCount)
-	}
-	return nil
 }
 
 func cmdMap(ctx context.Context, args []string, w io.Writer) error {

@@ -50,7 +50,9 @@ func TestUsageErrors(t *testing.T) {
 	if err := run(context.Background(), "profile", []string{"-nope"}, &sb); !errors.As(err, &ue) {
 		t.Errorf("undefined flag: err = %v (%T), want usageError", err, err)
 	}
-	if err := run(context.Background(), "profile", smallFlags, &sb); !errors.As(err, &ue) {
+	// (profile without -bench is no longer a usage error — it selects
+	// the cost-profiler mode; see profile_test.go.)
+	if err := run(context.Background(), "map", []string{"-bench", ""}, &sb); !errors.As(err, &ue) {
 		t.Errorf("missing -bench: err = %v (%T), want usageError", err, err)
 	}
 	if err := run(context.Background(), "points", append([]string{"-bench", "art", "-flavor", "zzz"}, smallFlags...), &sb); !errors.As(err, &ue) {
@@ -105,8 +107,10 @@ func TestCmdProfile(t *testing.T) {
 
 func TestCmdProfileErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(context.Background(), "profile", smallFlags, &sb); err == nil {
-		t.Error("missing -bench accepted")
+	// Without -bench profile is the cost profiler (see profile_test.go);
+	// an unknown benchmark there still fails.
+	if err := run(context.Background(), "profile", append([]string{"-benchmarks", "nope"}, smallFlags...), &sb); err == nil {
+		t.Error("unknown benchmark subset accepted")
 	}
 	if err := run(context.Background(), "profile", append([]string{"-bench", "gzip", "-target", "99"}, smallFlags...), &sb); err == nil {
 		t.Error("bad target accepted")

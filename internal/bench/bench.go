@@ -26,10 +26,22 @@ import (
 	"xbsim/internal/obs"
 )
 
-// SchemaVersion identifies the Result JSON layout. Load rejects files
-// written by a different schema, so a comparison never silently mixes
-// incompatible layouts.
-const SchemaVersion = 1
+// SchemaVersion identifies the Result JSON layout. Load accepts any
+// version in [MinSchemaVersion, SchemaVersion] so newer binaries can
+// still compare against older baselines; versions outside the range are
+// rejected so a comparison never silently mixes incompatible layouts.
+//
+// Version history:
+//
+//	1 — iterations with wall/alloc/GC and per-stage breakdown.
+//	2 — adds the optional "attribution" section (evaluate-walk cost
+//	    breakdown + redundancy summary from one extra profiled run).
+//	    Purely additive: schema-1 files load fine and compare on
+//	    wall/alloc only.
+const SchemaVersion = 2
+
+// MinSchemaVersion is the oldest Result layout Load still accepts.
+const MinSchemaVersion = 1
 
 // StageStats is one pipeline stage's resource use in one iteration,
 // scanned from the stage.<name>.* metric family.
@@ -69,6 +81,27 @@ type Result struct {
 	IntervalSize uint64   `json:"interval_size"`
 	// Iterations holds one entry per suite run.
 	Iterations []Iteration `json:"iterations"`
+	// Attribution, when present (schema >= 2), is the evaluate-walk cost
+	// breakdown from one extra profiled run; nil in older baselines.
+	Attribution *AttributionRecord `json:"attribution,omitempty"`
+}
+
+// AttributionRecord captures the evaluate-stage cost attribution of one
+// extra suite run executed with the obs.Attribution profiler enabled.
+// The timed iterations run with profiling off, so this run's wall time
+// is recorded separately: WallUS / the fastest timed iteration bounds
+// the profiler's enabled overhead.
+type AttributionRecord struct {
+	// WallUS is the profiled run's end-to-end wall time in microseconds.
+	WallUS uint64 `json:"wall_us"`
+	// AttributedWallUS is the wall time charged to walk-level nodes —
+	// the slice of WallUS the profiler can explain.
+	AttributedWallUS uint64 `json:"attributed_wall_us"`
+	// Walks holds the walk-level attribution nodes (points are omitted
+	// to keep baselines small; run `xbsim profile` for the full tree).
+	Walks []obs.AttribNode `json:"walks"`
+	// Redundancy is the duplicate-evaluation summary.
+	Redundancy obs.RedundancySummary `json:"redundancy"`
 }
 
 // MinWallUS returns the fastest iteration's wall time — the standard
@@ -194,6 +227,30 @@ func Run(ctx context.Context, opt Options) (*Result, error) {
 				i+1, n, float64(it.WallUS)/1000, formatBytes(it.AllocBytes), it.GCCycles)
 		}
 	}
+
+	// One extra run with the attribution profiler on. Kept out of the
+	// timed iterations so the recorded wall/alloc numbers always measure
+	// the profiler-off pipeline; the ratio of this run's wall time to the
+	// fastest timed iteration is the profiler's enabled overhead.
+	att := obs.NewAttribution()
+	o := &obs.Observer{Metrics: obs.NewRegistry(), Attrib: att}
+	start := time.Now()
+	if _, err := experiment.RunCtx(obs.With(ctx, o), cfg); err != nil {
+		return nil, fmt.Errorf("bench: attribution run: %w", err)
+	}
+	wall := time.Since(start)
+	snap := att.Snapshot()
+	res.Attribution = &AttributionRecord{
+		WallUS:           uint64(wall.Microseconds()),
+		AttributedWallUS: snap.TotalWallNS() / 1000,
+		Walks:            snap.Walks(),
+		Redundancy:       snap.Redundancy,
+	}
+	if opt.Progress != nil {
+		fmt.Fprintf(opt.Progress, "bench: attribution run: %.1fms wall, %.1fms attributed, %.0f%% duplicate evaluations\n",
+			float64(res.Attribution.WallUS)/1000, float64(res.Attribution.AttributedWallUS)/1000,
+			snap.Redundancy.DuplicateFraction()*100)
+	}
 	return res, nil
 }
 
@@ -238,9 +295,9 @@ func Load(path string) (*Result, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("bench: %s: %w", path, err)
 	}
-	if r.Schema != SchemaVersion {
-		return nil, fmt.Errorf("bench: %s: schema version %d, this binary speaks %d",
-			path, r.Schema, SchemaVersion)
+	if r.Schema < MinSchemaVersion || r.Schema > SchemaVersion {
+		return nil, fmt.Errorf("bench: %s: schema version %d, this binary speaks %d..%d",
+			path, r.Schema, MinSchemaVersion, SchemaVersion)
 	}
 	return &r, nil
 }
@@ -266,6 +323,23 @@ func (r *Result) Write(w io.Writer) error {
 		}
 		if _, err := fmt.Fprintf(w, "  %-14s %10d %10.1fms %12s\n",
 			name, attempts, float64(r.minStageWallUS(name))/1000, formatBytes(alloc)); err != nil {
+			return err
+		}
+	}
+	if a := r.Attribution; a != nil {
+		overhead := ""
+		if min := r.MinWallUS(); min > 0 {
+			overhead = fmt.Sprintf(", %+.1f%% vs fastest timed iteration",
+				(float64(a.WallUS)/float64(min)-1)*100)
+		}
+		if _, err := fmt.Fprintf(w, "  attribution: %d walk nodes, %.1fms attributed of %.1fms profiled wall%s\n",
+			len(a.Walks), float64(a.AttributedWallUS)/1000, float64(a.WallUS)/1000, overhead); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "  redundancy: %d evaluations, %d unique, %d duplicate (%.0f%%), %d of %d instructions re-simulated\n",
+			a.Redundancy.Evaluations, a.Redundancy.Unique, a.Redundancy.Duplicates,
+			a.Redundancy.DuplicateFraction()*100,
+			a.Redundancy.DuplicateInstructions, a.Redundancy.TotalInstructions); err != nil {
 			return err
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"xbsim/internal/experiment"
+	"xbsim/internal/obs"
 )
 
 // tinyOptions is a one-benchmark, small-scale harness configuration so
@@ -147,5 +148,79 @@ func TestCompareHandlesNewStagesAndEmptyBase(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "new") {
 		t.Errorf("new stage not marked:\n%s", b.String())
+	}
+}
+
+// Run must append the attribution section from one extra profiled run:
+// walk-level nodes only, a redundancy summary, and a profiled wall time
+// usable for overhead measurement.
+func TestRunCollectsAttribution(t *testing.T) {
+	res, err := Run(context.Background(), tinyOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Attribution
+	if a == nil {
+		t.Fatal("no attribution section")
+	}
+	if a.WallUS == 0 || a.AttributedWallUS == 0 {
+		t.Errorf("attribution wall = %d/%d, want both non-zero", a.WallUS, a.AttributedWallUS)
+	}
+	// 4 binaries × 3 walks for the single benchmark, walk-level only.
+	if len(a.Walks) != 12 {
+		t.Errorf("walk nodes = %d, want 12", len(a.Walks))
+	}
+	for _, n := range a.Walks {
+		if n.Point != obs.WholeWalk {
+			t.Errorf("point-level node %+v leaked into the baseline", n)
+		}
+	}
+	if a.Redundancy.Evaluations == 0 || a.Redundancy.Duplicates == 0 {
+		t.Errorf("redundancy = %+v, want recorded evaluations with duplicates", a.Redundancy)
+	}
+
+	// The human rendering carries the attribution and redundancy lines.
+	var b strings.Builder
+	if err := res.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"attribution:", "redundancy:"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// Load must accept a schema-1 baseline (no attribution section) so new
+// binaries still compare against old committed baselines, and Compare
+// over such a pair exercises only wall/alloc/stages.
+func TestLoadAcceptsOlderSchema(t *testing.T) {
+	old := synthetic(1000, 1_000_000)
+	old.Schema = 1
+	path := filepath.Join(t.TempDir(), "old.json")
+	if err := old.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	base, err := Load(path)
+	if err != nil {
+		t.Fatalf("schema-1 baseline rejected: %v", err)
+	}
+	if base.Attribution != nil {
+		t.Errorf("schema-1 baseline grew an attribution section: %+v", base.Attribution)
+	}
+	cur := synthetic(1050, 1_000_000)
+	cur.Attribution = &AttributionRecord{WallUS: 1200}
+	if err := Compare(cur, base, 0.20, 0.05).Err(); err != nil {
+		t.Errorf("comparison against schema-1 baseline failed: %v", err)
+	}
+
+	tooOld := synthetic(1000, 1)
+	tooOld.Schema = 0
+	bad := filepath.Join(t.TempDir(), "tooold.json")
+	if err := tooOld.Save(bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Errorf("Load accepted schema 0: %v", err)
 	}
 }

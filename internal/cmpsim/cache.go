@@ -23,6 +23,7 @@ package cmpsim
 import (
 	"fmt"
 
+	"xbsim/internal/fingerprint"
 	"xbsim/internal/xrand"
 )
 
@@ -133,15 +134,52 @@ func (c HierarchyConfig) Validate() error {
 	return nil
 }
 
+// Digest returns a short deterministic digest of the full hierarchy
+// configuration — every level's geometry, latency, policy, and
+// prefetcher plus the memory latency. Two configurations share a digest
+// exactly when a simulation under one is interchangeable with a
+// simulation under the other, which makes the digest the cache-config
+// half of the redundancy analyzer's evaluation key (interval
+// fingerprint + config digest) and the natural memoization key for
+// content-addressed result reuse.
+func (c HierarchyConfig) Digest() string {
+	h := fingerprint.New()
+	h.Int(len(c.Levels))
+	for _, l := range c.Levels {
+		h.String(l.Name)
+		h.Uint64(l.CapacityBytes)
+		h.Int(l.Associativity)
+		h.Uint64(l.LineSize)
+		h.Int(l.HitLatency)
+		h.Int(int(l.Replacement))
+		if l.NextLinePrefetch {
+			h.Int(1)
+		} else {
+			h.Int(0)
+		}
+	}
+	h.Int(c.MemoryLatency)
+	return h.Sum()
+}
+
 // cacheLine is one way of one set.
 type cacheLine struct {
 	tag   uint64
 	valid bool
+	// dirty marks a line written since fill; evicting it counts as a
+	// writeback (these are write-back caches).
+	dirty bool
 	// use is the LRU timestamp (bigger = more recent).
 	use uint64
 }
 
 // Cache is one set-associative, write-allocate cache level.
+//
+// The exported fields are event counters, incremented on every access —
+// demand or prefetch, gated or warming — so they attribute the cache's
+// actual activity, not just the statistics window. They are a stable
+// interface: the per-walk sim.<walk>.cache.* metric families publish
+// them (see Simulator.PublishMetrics).
 type Cache struct {
 	cfg       CacheConfig
 	sets      [][]cacheLine
@@ -152,8 +190,15 @@ type Cache struct {
 
 	// Hits and Misses count accesses at this level.
 	Hits, Misses uint64
+	// Evictions counts valid lines displaced by demand fills.
+	Evictions uint64
+	// Writebacks counts dirty lines displaced (by demand fills or
+	// prefetches) — the write-back traffic this level generates.
+	Writebacks uint64
 	// PrefetchFills counts next-line prefetch insertions.
 	PrefetchFills uint64
+	// PrefetchEvictions counts valid lines displaced by prefetch fills.
+	PrefetchEvictions uint64
 }
 
 // NewCache builds a cache from its configuration. The configuration
@@ -188,8 +233,16 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 }
 
 // Access looks up the address, filling the line on a miss (LRU victim).
-// It returns whether the access hit.
-func (c *Cache) Access(addr uint64) bool {
+// It returns whether the access hit. Reads only — a write goes through
+// AccessRW so the filled or reused line is marked dirty for writeback
+// accounting.
+func (c *Cache) Access(addr uint64) bool { return c.AccessRW(addr, false) }
+
+// AccessRW is Access with the access direction: write == true marks the
+// line dirty, so its later eviction counts as a writeback. The direction
+// changes only the event counters, never the fill or victim decisions,
+// so hit/miss behavior is identical to Access.
+func (c *Cache) AccessRW(addr uint64, write bool) bool {
 	c.clock++
 	lineAddr := addr >> c.lineShift
 	set := c.sets[lineAddr&c.setMask]
@@ -199,6 +252,9 @@ func (c *Cache) Access(addr uint64) bool {
 			if c.cfg.Replacement != FIFO {
 				// FIFO ranks by fill time only; reuse does not refresh.
 				set[i].use = c.clock
+			}
+			if write {
+				set[i].dirty = true
 			}
 			c.Hits++
 			return true
@@ -219,7 +275,13 @@ func (c *Cache) Access(addr uint64) bool {
 	if victim >= 0 && set[victim].valid && c.cfg.Replacement == Random {
 		victim = c.rng.Intn(len(set))
 	}
-	set[victim] = cacheLine{tag: tag, valid: true, use: c.clock}
+	if set[victim].valid {
+		c.Evictions++
+		if set[victim].dirty {
+			c.Writebacks++
+		}
+	}
+	set[victim] = cacheLine{tag: tag, valid: true, dirty: write, use: c.clock}
 	if c.cfg.NextLinePrefetch {
 		c.prefetch(addr + c.cfg.LineSize)
 	}
@@ -257,8 +319,15 @@ func (c *Cache) prefetch(addr uint64) {
 	if set[victim].valid && set[victim].use == c.clock {
 		return
 	}
+	if set[victim].valid {
+		c.PrefetchEvictions++
+		if set[victim].dirty {
+			c.Writebacks++
+		}
+	}
 	// Insert at LRU-adjacent priority (use = clock, like a demand fill;
-	// simple and adequate for a next-line prefetcher).
+	// simple and adequate for a next-line prefetcher). Prefetched lines
+	// arrive clean.
 	set[victim] = cacheLine{tag: tag, valid: true, use: c.clock}
 	c.PrefetchFills++
 }
@@ -271,6 +340,7 @@ func (c *Cache) Reset() {
 		}
 	}
 	c.clock, c.Hits, c.Misses, c.PrefetchFills = 0, 0, 0, 0
+	c.Evictions, c.Writebacks, c.PrefetchEvictions = 0, 0, 0
 }
 
 // Config returns the level's configuration.
@@ -302,9 +372,14 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 // latency of the nearest level that holds the line, or the DRAM latency.
 // Misses allocate the line at every level on the way down (non-inclusive
 // fill-on-miss).
-func (h *Hierarchy) Access(addr uint64) int {
+func (h *Hierarchy) Access(addr uint64) int { return h.AccessRW(addr, false) }
+
+// AccessRW is Access carrying the access direction for writeback
+// accounting (see Cache.AccessRW); latency and fill behavior are
+// identical to Access.
+func (h *Hierarchy) AccessRW(addr uint64, write bool) int {
 	for _, c := range h.levels {
-		if c.Access(addr) {
+		if c.AccessRW(addr, write) {
 			return c.cfg.HitLatency
 		}
 	}

@@ -224,10 +224,18 @@ func (s *Simulator) Hierarchy() *Hierarchy { return s.hier }
 
 // PublishMetrics adds the accumulated statistics to the registry as
 // counters under the given prefix ("sim" → sim.instructions, sim.cycles,
-// sim.cache.l1.hits, ...; full-run walks use "sim", region-gated walks
-// "sim.gated"). Cache levels are numbered outward from the core: l1 is
-// the first-level cache regardless of its display name. A nil registry is
-// a no-op. The metric names are a stable interface (see README.md).
+// sim.cache.l1.hits, ...). The pipeline publishes one family per
+// evaluation walk — "sim.full" (walk 3), "sim.fli" (walk 4), "sim.vli"
+// (walk 5) — alongside the legacy aggregate names "sim" (full-run) and
+// "sim.gated" (both gated walks combined). Cache levels are numbered
+// outward from the core: l1 is the first-level cache regardless of its
+// display name. A nil registry is a no-op. The metric names are a stable
+// interface (see README.md).
+//
+// Hits/misses come from the gated Stats window; the eviction, writeback,
+// and prefetch families come from the Cache event counters, which count
+// every access including functional warming — they attribute the cache's
+// real activity during the walk, which is what a cost profile needs.
 func (s *Simulator) PublishMetrics(reg *obs.Registry, prefix string) {
 	if reg == nil {
 		return
@@ -241,6 +249,12 @@ func (s *Simulator) PublishMetrics(reg *obs.Registry, prefix string) {
 	for i := range st.LevelHits {
 		reg.Counter(fmt.Sprintf("%s.cache.l%d.hits", prefix, i+1)).Add(st.LevelHits[i])
 		reg.Counter(fmt.Sprintf("%s.cache.l%d.misses", prefix, i+1)).Add(st.LevelMisses[i])
+	}
+	for i, c := range s.hier.levels {
+		reg.Counter(fmt.Sprintf("%s.cache.l%d.evictions", prefix, i+1)).Add(c.Evictions)
+		reg.Counter(fmt.Sprintf("%s.cache.l%d.writebacks", prefix, i+1)).Add(c.Writebacks)
+		reg.Counter(fmt.Sprintf("%s.cache.l%d.prefetch_fills", prefix, i+1)).Add(c.PrefetchFills)
+		reg.Counter(fmt.Sprintf("%s.cache.l%d.prefetch_evictions", prefix, i+1)).Add(c.PrefetchEvictions)
 	}
 }
 
@@ -262,11 +276,11 @@ func (s *Simulator) OnBlock(block int) {
 
 	if g := s.gens[block]; g != nil {
 		for i := 0; i < b.Loads; i++ {
-			lat := s.access(g.next(), enabled)
+			lat := s.access(g.next(), false, enabled)
 			cycles += uint64(lat - 1)
 		}
 		for i := 0; i < b.Stores; i++ {
-			lat := s.access(g.next(), enabled)
+			lat := s.access(g.next(), true, enabled)
 			// Stores retire through a store buffer; charge a fraction of
 			// the miss latency.
 			cycles += uint64(lat-1) / storeShare
@@ -274,11 +288,11 @@ func (s *Simulator) OnBlock(block int) {
 	}
 	if b.SpillLoads+b.SpillStores > 0 {
 		for i := 0; i < b.SpillLoads; i++ {
-			lat := s.access(s.stackGen.next(), enabled)
+			lat := s.access(s.stackGen.next(), false, enabled)
 			cycles += uint64(lat - 1)
 		}
 		for i := 0; i < b.SpillStores; i++ {
-			lat := s.access(s.stackGen.next(), enabled)
+			lat := s.access(s.stackGen.next(), true, enabled)
 			cycles += uint64(lat-1) / storeShare
 		}
 	}
@@ -294,10 +308,11 @@ func (s *Simulator) OnBlock(block int) {
 func (s *Simulator) OnMarker(int) {}
 
 // access performs one hierarchy access, recording per-level outcomes only
-// when stats recording is on.
-func (s *Simulator) access(addr uint64, record bool) int {
+// when stats recording is on. write marks the touched line dirty for
+// writeback accounting; it never changes latency or fill decisions.
+func (s *Simulator) access(addr uint64, write, record bool) int {
 	for li, c := range s.hier.levels {
-		if c.Access(addr) {
+		if c.AccessRW(addr, write) {
 			if record {
 				s.stats.LevelHits[li]++
 			}

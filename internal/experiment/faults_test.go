@@ -90,7 +90,11 @@ func TestHangFaultTimesOutAndRetries(t *testing.T) {
 	o := obs.New()
 	ctx := obs.With(faults.With(context.Background(), inj), o)
 	cfg := retryConfig("mcf")
-	cfg.StageTimeout = 2 * time.Second
+	// The deadline only needs to be far above an honest stage's duration
+	// so that exactly the hung attempt expires. Under -race with the full
+	// package's heap mapped, a real evaluate attempt can cross 2s, which
+	// would burn the retry budget on legitimate work — keep headroom.
+	cfg.StageTimeout = 5 * time.Second
 	res, err := RunBenchmarkCtx(ctx, "mcf", cfg)
 	if err != nil {
 		t.Fatalf("hang was not retried away: %v", err)

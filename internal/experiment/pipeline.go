@@ -332,16 +332,29 @@ func evaluateBinary(ctx context.Context, cfg Config, bins []*compiler.Binary, bi
 	vli *profile.VLIResult, vliPick *simpoint.Result, mapped *mapping.Result) (*BinaryRun, error) {
 
 	o := obs.From(ctx)
+	att := o.Attribution()
 	bin := bins[bi]
 	vliEnds, err := mapped.TranslateEnds(cfg.Primary, bi, vli.Ends)
 	if err != nil {
 		return nil, fmt.Errorf("translating VLI boundaries: %w", err)
+	}
+	// Redundancy keys: interval-content fingerprint + hierarchy digest.
+	// Two point evaluations with equal keys simulate identical work — the
+	// duplicate count is the direct measurement of what content-addressed
+	// memoization would save. Built only when attribution is on; key
+	// construction costs a hash per point, never per block.
+	var fliKey, vliKey func(interval int) string
+	if att.Enabled() {
+		digest := "/" + cfg.Hierarchy.Digest()
+		fliKey = func(iv int) string { return fli.Dataset.Vector(iv).Fingerprint() + digest }
+		vliKey = func(iv int) string { return vli.Dataset.Vector(iv).Fingerprint() + digest }
 	}
 
 	// Walk 3: full simulation with both interval attributions.
 	o.Report(obs.Event{Benchmark: bin.Program.Name, Binary: bin.Name, Stage: "full simulation"})
 	fctx, fspan := obs.StartSpan(ctx, "stage.full_sim")
 	fspan.Annotate(bin.Name)
+	fws := att.StartWalk(bin.Program.Name, bin.Name, "full")
 	fullSim, err := cmpsim.NewSimulator(bin, cfg.Hierarchy)
 	if err != nil {
 		return nil, err
@@ -357,8 +370,11 @@ func evaluateBinary(ctx context.Context, cfg Config, bins []*compiler.Binary, bi
 	vliSnap.close()
 	fspan.End()
 	trueStats := fullSim.Stats()
+	fws.Done(trueStats.Instructions, trueStats.Cycles)
 	if o != nil {
+		// "sim" is the legacy walk-3 family; "sim.full" the per-walk one.
 		fullSim.PublishMetrics(o.Metrics, "sim")
+		fullSim.PublishMetrics(o.Metrics, "sim.full")
 	}
 
 	run := &BinaryRun{
@@ -374,7 +390,7 @@ func evaluateBinary(ctx context.Context, cfg Config, bins []*compiler.Binary, bi
 
 	// Walk 4: FLI region simulation (this binary's own points).
 	o.Report(obs.Event{Benchmark: bin.Program.Name, Binary: bin.Name, Stage: "gated simulation"})
-	fliPointCPI, fliPointIv, err := simulatePoints(ctx, cfg, bin, fliPick,
+	fliPointCPI, fliPointIv, err := simulatePoints(ctx, cfg, bin, fliPick, "fli", fliKey,
 		func(sink profile.IntervalSink) exec.Visitor {
 			return profile.NewFLITracker(bin, fli.Ends, sink)
 		})
@@ -392,7 +408,7 @@ func evaluateBinary(ctx context.Context, cfg Config, bins []*compiler.Binary, bi
 
 	// Walk 5: VLI region simulation (the shared cross-binary points
 	// located in this binary via translated boundaries).
-	vliPointCPI, vliPointIv, err := simulatePoints(ctx, cfg, bin, vliPick,
+	vliPointCPI, vliPointIv, err := simulatePoints(ctx, cfg, bin, vliPick, "vli", vliKey,
 		func(sink profile.IntervalSink) exec.Visitor {
 			return profile.NewVLITracker(bin, vliEnds, sink)
 		})
@@ -446,14 +462,19 @@ func instrumentPool(p *pool.Pool, o *obs.Observer) {
 
 // simulatePoints runs one region-gated simulation walk and returns, per
 // phase, the measured CPI of its simulation point and the representative
-// interval index.
+// interval index. walk names the walk for attribution and the per-walk
+// metric family ("fli" or "vli"); evalKey, when non-nil, maps a chosen
+// interval to its redundancy-analysis evaluation key.
 func simulatePoints(ctx context.Context, cfg Config, bin *compiler.Binary, pick *simpoint.Result,
+	walk string, evalKey func(interval int) string,
 	makeTracker func(profile.IntervalSink) exec.Visitor) (cpi []float64, intervals []int, err error) {
 
 	gctx, gspan := obs.StartSpan(ctx, "stage.gated_sim")
 	gspan.Annotate(bin.Name)
 	defer gspan.End()
 
+	att := obs.From(ctx).Attribution()
+	ws := att.StartWalk(bin.Program.Name, bin.Name, walk)
 	sim, err := cmpsim.NewSimulator(bin, cfg.Hierarchy)
 	if err != nil {
 		return nil, nil, err
@@ -469,8 +490,13 @@ func simulatePoints(ctx context.Context, cfg Config, bin *compiler.Binary, pick 
 		return nil, nil, err
 	}
 	gate.close()
+	simStats := sim.Stats()
+	ws.Done(simStats.Instructions, simStats.Cycles)
 	if o := obs.From(ctx); o != nil {
+		// "sim.gated" is the legacy family covering walks 4 and 5 together;
+		// "sim.fli"/"sim.vli" split it per walk.
 		sim.PublishMetrics(o.Metrics, "sim.gated")
+		sim.PublishMetrics(o.Metrics, "sim."+walk)
 	}
 
 	cpi = make([]float64, pick.K)
@@ -487,6 +513,10 @@ func simulatePoints(ctx context.Context, cfg Config, bin *compiler.Binary, pick 
 		}
 		cpi[p.Phase] = float64(st.cycles) / float64(st.instr)
 		intervals[p.Phase] = p.Interval
+		att.AddPoint(bin.Program.Name, bin.Name, walk, p.Interval, st.instr, st.cycles)
+		if att.Enabled() && evalKey != nil {
+			att.RecordEval(evalKey(p.Interval), st.instr)
+		}
 	}
 	return cpi, intervals, nil
 }

@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Attribution is the evaluate-stage cost-attribution profiler: a
+// hierarchical accumulator that charges wall time, allocations, simulated
+// instructions, and simulated cycles to (benchmark, binary, walk, point)
+// nodes, plus a redundancy analyzer that counts how many point
+// evaluations were content-identical to one already simulated.
+//
+// Like the rest of this package, it costs nothing when off: a nil
+// *Attribution is a valid no-op sink — StartWalk returns nil without
+// reading the clock, and a nil *WalkSample's Done, AddPoint, and
+// RecordEval return immediately without allocating (pinned by
+// TestAttributionDisabledZeroAlloc). Enabled, the recording granularity
+// is one sample per walk and one per simulation point, never per block,
+// so the overhead stays small relative to the simulation itself.
+type Attribution struct {
+	mu    sync.Mutex
+	nodes map[AttribKey]*AttribValue
+
+	// Redundancy analysis: seen maps an evaluation key (interval
+	// fingerprint + cache-config digest) to how many times a point with
+	// that key has been evaluated.
+	seen      map[string]uint64
+	evals     uint64
+	dupEvals  uint64
+	evalInstr uint64
+	dupInstr  uint64
+}
+
+// NewAttribution returns an empty, enabled attribution profiler.
+func NewAttribution() *Attribution {
+	return &Attribution{
+		nodes: map[AttribKey]*AttribValue{},
+		seen:  map[string]uint64{},
+	}
+}
+
+// Enabled reports whether the profiler records anything.
+func (a *Attribution) Enabled() bool { return a != nil }
+
+// AttribKey addresses one node of the attribution hierarchy. The tree
+// reads benchmark → binary → walk → point; Point == WholeWalk addresses
+// the walk-level node that carries wall time and allocation, while
+// Point >= 0 addresses one simulation point's share of the walk.
+type AttribKey struct {
+	// Benchmark and Binary name the evaluated binary.
+	Benchmark, Binary string
+	// Walk identifies the evaluation walk: "full" (walk 3), "fli"
+	// (walk 4), or "vli" (walk 5).
+	Walk string
+	// Point is the simulation point's interval index, or WholeWalk for
+	// the walk-level node.
+	Point int
+}
+
+// WholeWalk is the AttribKey.Point value of a walk-level node.
+const WholeWalk = -1
+
+// AttribValue is one node's accumulated cost.
+type AttribValue struct {
+	// WallNS is attributed wall time in nanoseconds (walk-level nodes
+	// only; the gated walk interleaves points too finely to time them
+	// individually without per-block clock reads).
+	WallNS uint64 `json:"wall_ns"`
+	// AllocBytes is bytes allocated during the walk (process-wide, so
+	// exact only under serial execution — the bench and profile harness
+	// configuration; see obs.StageSample for the same caveat).
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// Instructions and Cycles are the simulated instruction and cycle
+	// counts charged to this node.
+	Instructions uint64 `json:"instructions"`
+	Cycles       uint64 `json:"cycles"`
+	// Evals counts point evaluations folded into this node.
+	Evals uint64 `json:"evals"`
+}
+
+// add accumulates v into the node for key.
+func (a *Attribution) add(key AttribKey, v AttribValue) {
+	a.mu.Lock()
+	n := a.nodes[key]
+	if n == nil {
+		n = &AttribValue{}
+		a.nodes[key] = n
+	}
+	n.WallNS += v.WallNS
+	n.AllocBytes += v.AllocBytes
+	n.Instructions += v.Instructions
+	n.Cycles += v.Cycles
+	n.Evals += v.Evals
+	a.mu.Unlock()
+}
+
+// WalkSample times one evaluation walk. Obtain one from StartWalk and
+// call Done exactly once; a nil sample ignores Done.
+type WalkSample struct {
+	a      *Attribution
+	key    AttribKey
+	start  time.Time
+	alloc0 uint64
+}
+
+// StartWalk opens a walk-level sample. On a nil receiver it returns nil
+// without reading the clock or the heap, keeping the disabled path free.
+func (a *Attribution) StartWalk(benchmark, binary, walk string) *WalkSample {
+	if a == nil {
+		return nil
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &WalkSample{
+		a:      a,
+		key:    AttribKey{Benchmark: benchmark, Binary: binary, Walk: walk, Point: WholeWalk},
+		start:  time.Now(),
+		alloc0: ms.TotalAlloc,
+	}
+}
+
+// Done closes the sample, charging the walk's wall time and allocation
+// plus the simulated instruction/cycle totals to its walk-level node.
+func (s *WalkSample) Done(instructions, cycles uint64) {
+	if s == nil {
+		return
+	}
+	elapsed := time.Since(s.start)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.a.add(s.key, AttribValue{
+		WallNS:       uint64(elapsed.Nanoseconds()),
+		AllocBytes:   ms.TotalAlloc - s.alloc0,
+		Instructions: instructions,
+		Cycles:       cycles,
+	})
+}
+
+// AddPoint charges one simulation point's simulated instructions and
+// cycles to its point node.
+func (a *Attribution) AddPoint(benchmark, binary, walk string, point int, instructions, cycles uint64) {
+	if a == nil {
+		return
+	}
+	a.add(AttribKey{Benchmark: benchmark, Binary: binary, Walk: walk, Point: point},
+		AttribValue{Instructions: instructions, Cycles: cycles, Evals: 1})
+}
+
+// RecordEval feeds the redundancy analyzer: key identifies the
+// evaluation's content (interval fingerprint + cache-config digest) and
+// instructions its simulated instruction count. An evaluation whose key
+// was already seen is a duplicate — work a content-addressed memoization
+// layer would have skipped.
+func (a *Attribution) RecordEval(key string, instructions uint64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.evals++
+	a.evalInstr += instructions
+	if a.seen[key] > 0 {
+		a.dupEvals++
+		a.dupInstr += instructions
+	}
+	a.seen[key]++
+	a.mu.Unlock()
+}
+
+// AttribNode is one exported node of the attribution tree.
+type AttribNode struct {
+	Benchmark string `json:"benchmark"`
+	Binary    string `json:"binary"`
+	Walk      string `json:"walk"`
+	// Point is the simulation point's interval index; -1 (WholeWalk)
+	// marks the walk-level node.
+	Point int         `json:"point"`
+	Value AttribValue `json:"value"`
+}
+
+// RedundancySummary is the redundancy analyzer's verdict: of Evaluations
+// point evaluations, Duplicates had an (interval fingerprint,
+// cache-config) key already evaluated — DuplicateInstructions of
+// TotalInstructions simulated instructions were re-simulation of
+// identical content.
+type RedundancySummary struct {
+	Evaluations           uint64 `json:"evaluations"`
+	Unique                uint64 `json:"unique"`
+	Duplicates            uint64 `json:"duplicates"`
+	TotalInstructions     uint64 `json:"total_instructions"`
+	DuplicateInstructions uint64 `json:"duplicate_instructions"`
+}
+
+// DuplicateFraction returns the fraction of evaluations that were
+// duplicates (0 when nothing was evaluated).
+func (r RedundancySummary) DuplicateFraction() float64 {
+	if r.Evaluations == 0 {
+		return 0
+	}
+	return float64(r.Duplicates) / float64(r.Evaluations)
+}
+
+// AttribSnapshot is a point-in-time copy of the attribution state.
+type AttribSnapshot struct {
+	// Nodes holds every attribution node, sorted by (benchmark, binary,
+	// walk, point) so any rendering is deterministic.
+	Nodes []AttribNode `json:"nodes"`
+	// Redundancy is the duplicate-evaluation summary.
+	Redundancy RedundancySummary `json:"redundancy"`
+}
+
+// Snapshot copies the current attribution state. A nil profiler yields
+// an empty snapshot.
+func (a *Attribution) Snapshot() AttribSnapshot {
+	var snap AttribSnapshot
+	if a == nil {
+		return snap
+	}
+	a.mu.Lock()
+	snap.Nodes = make([]AttribNode, 0, len(a.nodes))
+	for k, v := range a.nodes {
+		snap.Nodes = append(snap.Nodes, AttribNode{
+			Benchmark: k.Benchmark, Binary: k.Binary, Walk: k.Walk, Point: k.Point,
+			Value: *v,
+		})
+	}
+	snap.Redundancy = RedundancySummary{
+		Evaluations:           a.evals,
+		Unique:                uint64(len(a.seen)),
+		Duplicates:            a.dupEvals,
+		TotalInstructions:     a.evalInstr,
+		DuplicateInstructions: a.dupInstr,
+	}
+	a.mu.Unlock()
+	sort.Slice(snap.Nodes, func(i, j int) bool {
+		x, y := snap.Nodes[i], snap.Nodes[j]
+		if x.Benchmark != y.Benchmark {
+			return x.Benchmark < y.Benchmark
+		}
+		if x.Binary != y.Binary {
+			return x.Binary < y.Binary
+		}
+		if x.Walk != y.Walk {
+			return x.Walk < y.Walk
+		}
+		return x.Point < y.Point
+	})
+	return snap
+}
+
+// Walks returns the walk-level nodes only (Point == WholeWalk), in
+// snapshot order — the rows of the profile command's cost table.
+func (s AttribSnapshot) Walks() []AttribNode {
+	var out []AttribNode
+	for _, n := range s.Nodes {
+		if n.Point == WholeWalk {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TotalWallNS sums attributed wall time across walk-level nodes.
+func (s AttribSnapshot) TotalWallNS() uint64 {
+	var total uint64
+	for _, n := range s.Nodes {
+		if n.Point == WholeWalk {
+			total += n.Value.WallNS
+		}
+	}
+	return total
+}

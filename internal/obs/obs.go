@@ -30,6 +30,9 @@ type Observer struct {
 	// Events is the structured-event flight recorder; progress events
 	// and Emit calls land here when it is non-nil.
 	Events *Recorder
+	// Attrib is the evaluate-stage cost-attribution profiler; nil (the
+	// default) disables attribution at zero cost.
+	Attrib *Attribution
 }
 
 // New returns an Observer with a fresh registry and tracer (no progress
@@ -81,6 +84,15 @@ func (o *Observer) Histogram(name string) *Histogram {
 		return nil
 	}
 	return o.Metrics.Histogram(name)
+}
+
+// Attribution returns the cost-attribution profiler, or nil when
+// attribution is off (a nil *Attribution is a valid no-op sink).
+func (o *Observer) Attribution() *Attribution {
+	if o == nil {
+		return nil
+	}
+	return o.Attrib
 }
 
 // Report forwards a progress event to the progress sink, if any, and

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// speedscope file-format constants (https://www.speedscope.app — the
+// schema is published at SpeedscopeSchema). The attribution flamegraph
+// is emitted as a "sampled" profile: each attribution node becomes one
+// sample whose stack is its path through the hierarchy and whose weight
+// is the node's cost.
+const (
+	// SpeedscopeSchema is the $schema URL speedscope files carry.
+	SpeedscopeSchema = "https://www.speedscope.app/file-format-schema.json"
+	speedscopeType   = "sampled"
+)
+
+// speedscopeFile is the top-level speedscope JSON document.
+type speedscopeFile struct {
+	Schema   string              `json:"$schema"`
+	Name     string              `json:"name"`
+	Exporter string              `json:"exporter"`
+	Shared   speedscopeShared    `json:"shared"`
+	Profiles []speedscopeProfile `json:"profiles"`
+}
+
+type speedscopeShared struct {
+	Frames []speedscopeFrame `json:"frames"`
+}
+
+type speedscopeFrame struct {
+	Name string `json:"name"`
+}
+
+type speedscopeProfile struct {
+	Type       string   `json:"type"`
+	Name       string   `json:"name"`
+	Unit       string   `json:"unit"`
+	StartValue uint64   `json:"startValue"`
+	EndValue   uint64   `json:"endValue"`
+	Samples    [][]int  `json:"samples"`
+	Weights    []uint64 `json:"weights"`
+}
+
+// WriteSpeedscope renders the attribution snapshot as a
+// speedscope-compatible flamegraph JSON with two profiles: "wall"
+// weights the walk-level stacks (benchmark → binary → walk) by
+// attributed wall time in nanoseconds, and "instructions" weights the
+// point-level stacks (benchmark → binary → walk → point N) by simulated
+// instructions. Load the file at https://www.speedscope.app or with
+// `speedscope <file>`.
+func WriteSpeedscope(w io.Writer, snap AttribSnapshot) error {
+	frames := []speedscopeFrame{}
+	frameIdx := map[string]int{}
+	frame := func(name string) int {
+		if i, ok := frameIdx[name]; ok {
+			return i
+		}
+		i := len(frames)
+		frames = append(frames, speedscopeFrame{Name: name})
+		frameIdx[name] = i
+		return i
+	}
+
+	wall := speedscopeProfile{
+		Type: speedscopeType, Name: "wall", Unit: "nanoseconds",
+		Samples: [][]int{}, Weights: []uint64{},
+	}
+	instr := speedscopeProfile{
+		Type: speedscopeType, Name: "instructions", Unit: "none",
+		Samples: [][]int{}, Weights: []uint64{},
+	}
+	for _, n := range snap.Nodes {
+		stack := []int{frame(n.Benchmark), frame(n.Binary), frame("walk:" + n.Walk)}
+		if n.Point == WholeWalk {
+			if n.Value.WallNS > 0 {
+				wall.Samples = append(wall.Samples, stack)
+				wall.Weights = append(wall.Weights, n.Value.WallNS)
+				wall.EndValue += n.Value.WallNS
+			}
+			continue
+		}
+		if n.Value.Instructions == 0 {
+			continue
+		}
+		stack = append(stack, frame(fmt.Sprintf("point:%d", n.Point)))
+		instr.Samples = append(instr.Samples, stack)
+		instr.Weights = append(instr.Weights, n.Value.Instructions)
+		instr.EndValue += n.Value.Instructions
+	}
+
+	file := speedscopeFile{
+		Schema:   SpeedscopeSchema,
+		Name:     "xbsim evaluate attribution",
+		Exporter: "xbsim",
+		Shared:   speedscopeShared{Frames: frames},
+		Profiles: []speedscopeProfile{wall, instr},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(file)
+}
+
+// ValidateSpeedscope checks that data is structurally valid against the
+// speedscope file-format schema: the $schema URL, a shared frame table,
+// and per profile a known type and unit, samples holding in-range frame
+// indices, and weights parallel to samples. It is the library half of
+// the CI profile-smoke job, so flamegraph output is validated without
+// external tooling.
+func ValidateSpeedscope(data []byte) error {
+	var f speedscopeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("speedscope: not JSON: %w", err)
+	}
+	if f.Schema != SpeedscopeSchema {
+		return fmt.Errorf("speedscope: $schema = %q, want %q", f.Schema, SpeedscopeSchema)
+	}
+	if len(f.Profiles) == 0 {
+		return fmt.Errorf("speedscope: no profiles")
+	}
+	validUnits := map[string]bool{
+		"none": true, "nanoseconds": true, "microseconds": true,
+		"milliseconds": true, "seconds": true, "bytes": true,
+	}
+	for pi, p := range f.Profiles {
+		if p.Type != speedscopeType && p.Type != "evented" {
+			return fmt.Errorf("speedscope: profile %d: type %q", pi, p.Type)
+		}
+		if !validUnits[p.Unit] {
+			return fmt.Errorf("speedscope: profile %d: unit %q", pi, p.Unit)
+		}
+		if len(p.Samples) != len(p.Weights) {
+			return fmt.Errorf("speedscope: profile %d: %d samples but %d weights",
+				pi, len(p.Samples), len(p.Weights))
+		}
+		var total uint64
+		for si, stack := range p.Samples {
+			if len(stack) == 0 {
+				return fmt.Errorf("speedscope: profile %d: sample %d is empty", pi, si)
+			}
+			for _, fi := range stack {
+				if fi < 0 || fi >= len(f.Shared.Frames) {
+					return fmt.Errorf("speedscope: profile %d: sample %d: frame index %d out of range [0,%d)",
+						pi, si, fi, len(f.Shared.Frames))
+				}
+			}
+			total += p.Weights[si]
+		}
+		if span := p.EndValue - p.StartValue; span != total {
+			return fmt.Errorf("speedscope: profile %d: weights sum %d but endValue-startValue = %d",
+				pi, total, span)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// speedscopeSnapshot builds a small populated attribution snapshot for
+// the render tests.
+func speedscopeSnapshot() AttribSnapshot {
+	a := NewAttribution()
+	a.StartWalk("gcc", "gcc.32u", "full").Done(1000, 1500)
+	a.StartWalk("gcc", "gcc.32u", "fli").Done(200, 300)
+	a.AddPoint("gcc", "gcc.32u", "fli", 2, 120, 170)
+	a.AddPoint("gcc", "gcc.32u", "fli", 9, 80, 130)
+	return a.Snapshot()
+}
+
+// TestWriteSpeedscopeValidates pins that the renderer's output passes
+// the repo's own structural validator — the invariant the CI
+// profile-smoke job checks on real output.
+func TestWriteSpeedscopeValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpeedscope(&buf, speedscopeSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSpeedscope(buf.Bytes()); err != nil {
+		t.Fatalf("renderer output fails validation: %v\n%s", err, buf.String())
+	}
+
+	var f struct {
+		Schema   string `json:"$schema"`
+		Profiles []struct {
+			Name     string   `json:"name"`
+			Unit     string   `json:"unit"`
+			Samples  [][]int  `json:"samples"`
+			Weights  []uint64 `json:"weights"`
+			EndValue uint64   `json:"endValue"`
+		} `json:"profiles"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != SpeedscopeSchema {
+		t.Errorf("$schema = %q", f.Schema)
+	}
+	if len(f.Profiles) != 2 || f.Profiles[0].Name != "wall" || f.Profiles[1].Name != "instructions" {
+		t.Fatalf("profiles = %+v", f.Profiles)
+	}
+	// Two walk samples carry wall time; two points carry instructions.
+	if len(f.Profiles[0].Samples) != 2 {
+		t.Errorf("wall samples = %d, want 2", len(f.Profiles[0].Samples))
+	}
+	if len(f.Profiles[1].Samples) != 2 || f.Profiles[1].EndValue != 200 {
+		t.Errorf("instructions profile = %+v, want 2 samples summing to 200", f.Profiles[1])
+	}
+	// Point stacks are one frame deeper than walk stacks.
+	if len(f.Profiles[1].Samples[0]) != len(f.Profiles[0].Samples[0])+1 {
+		t.Errorf("point stack depth %d, walk stack depth %d",
+			len(f.Profiles[1].Samples[0]), len(f.Profiles[0].Samples[0]))
+	}
+}
+
+// TestWriteSpeedscopeEmpty pins that an empty snapshot still renders a
+// valid document (profiles present, zero samples) — the /profile
+// endpoint serves this before any attribution exists.
+func TestWriteSpeedscopeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpeedscope(&buf, AttribSnapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSpeedscope(buf.Bytes()); err != nil {
+		t.Fatalf("empty render fails validation: %v", err)
+	}
+}
+
+// TestValidateSpeedscopeRejects drives the validator through each
+// failure mode with handcrafted documents.
+func TestValidateSpeedscopeRejects(t *testing.T) {
+	valid := `{
+		"$schema": "https://www.speedscope.app/file-format-schema.json",
+		"shared": {"frames": [{"name": "a"}, {"name": "b"}]},
+		"profiles": [{"type": "sampled", "name": "p", "unit": "nanoseconds",
+			"startValue": 0, "endValue": 10, "samples": [[0, 1]], "weights": [10]}]
+	}`
+	if err := ValidateSpeedscope([]byte(valid)); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"not-json", `{`, "not JSON"},
+		{"bad-schema", strings.Replace(valid, "file-format-schema.json", "other.json", 1), "$schema"},
+		{"no-profiles", strings.Replace(valid, `"profiles": [{`, `"profiles": [], "x": [{`, 1), "no profiles"},
+		{"bad-type", strings.Replace(valid, `"type": "sampled"`, `"type": "flame"`, 1), "type"},
+		{"bad-unit", strings.Replace(valid, `"unit": "nanoseconds"`, `"unit": "fortnights"`, 1), "unit"},
+		{"weights-mismatch", strings.Replace(valid, `"weights": [10]`, `"weights": [10, 3]`, 1), "weights"},
+		{"empty-sample", strings.Replace(valid, `"samples": [[0, 1]]`, `"samples": [[]]`, 1), "empty"},
+		{"frame-out-of-range", strings.Replace(valid, `"samples": [[0, 1]]`, `"samples": [[0, 7]]`, 1), "out of range"},
+		{"sum-mismatch", strings.Replace(valid, `"endValue": 10`, `"endValue": 11`, 1), "endValue"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateSpeedscope([]byte(tc.doc))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want %q", err, tc.wantErr)
+			}
+		})
+	}
+}

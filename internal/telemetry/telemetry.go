@@ -16,6 +16,8 @@ import (
 //	/metrics     Prometheus text exposition of the metrics registry
 //	/progress    JSON: suite progress, per-benchmark state, span tree
 //	/events      JSON: the flight recorder's recent structured events
+//	/attribution JSON: the cost-attribution snapshot + redundancy summary
+//	/profile     speedscope-compatible flamegraph of the attribution tree
 //	/debug/pprof the standard runtime profiling endpoints
 //
 // Handlers snapshot state on every request; the pipeline never blocks
@@ -42,6 +44,8 @@ func Start(addr string, o *obs.Observer) (*Server, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/progress", s.handleProgress)
 	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/attribution", s.handleAttribution)
+	mux.HandleFunc("/profile", s.handleProfile)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -86,6 +90,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"/metrics      Prometheus exposition\n" +
 		"/progress     suite + per-benchmark progress (JSON)\n" +
 		"/events       flight recorder events (JSON)\n" +
+		"/attribution  cost attribution + redundancy summary (JSON)\n" +
+		"/profile      speedscope flamegraph of the attribution tree\n" +
 		"/debug/pprof  runtime profiles\n"))
 }
 
@@ -134,6 +140,30 @@ func (s *Server) handleEvents(w http.ResponseWriter, _ *http.Request) {
 		view.Events = s.o.Events.Events()
 	}
 	writeJSON(w, view)
+}
+
+// handleAttribution serves the live cost-attribution snapshot. With no
+// attribution profiler attached it serves an empty snapshot, same shape.
+func (s *Server) handleAttribution(w http.ResponseWriter, _ *http.Request) {
+	var snap obs.AttribSnapshot
+	if s.o != nil {
+		snap = s.o.Attribution().Snapshot()
+	}
+	if snap.Nodes == nil {
+		snap.Nodes = []obs.AttribNode{}
+	}
+	writeJSON(w, snap)
+}
+
+// handleProfile serves the attribution tree as a speedscope-compatible
+// flamegraph JSON, loadable at https://www.speedscope.app.
+func (s *Server) handleProfile(w http.ResponseWriter, _ *http.Request) {
+	var snap obs.AttribSnapshot
+	if s.o != nil {
+		snap = s.o.Attribution().Snapshot()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteSpeedscope(w, snap)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
