@@ -188,6 +188,8 @@ func writeCostProfile(w io.Writer, snap obs.AttribSnapshot, ms obs.Snapshot,
 	if r.Duplicates > 0 {
 		fmt.Fprintln(w, "  (a content-addressed memoization layer would skip these; see ROADMAP.md)")
 	}
+	fmt.Fprintf(w, "memo: %d hits, %d misses (%.0f%% hit rate), %d instructions not re-simulated\n",
+		r.MemoHits, r.MemoMisses, r.MemoHitRate()*100, r.MemoSavedInstructions)
 	return nil
 }
 

@@ -34,14 +34,21 @@ func TestCmdProfileCostMode(t *testing.T) {
 	if !strings.Contains(out, "coverage:") {
 		t.Errorf("no coverage line:\n%s", out)
 	}
-	// The redundancy summary must be non-empty: the shared VLI points
-	// guarantee duplicates even on one benchmark.
+	// With the evaluation memo on (the default), the gated walks are
+	// answered from walk 3's table: the redundancy analyzer, which
+	// counts *executed* evaluations, must see none, and the memo line
+	// must report a 100% hit rate.
 	if !strings.Contains(out, "redundancy:") {
 		t.Fatalf("no redundancy summary:\n%s", out)
 	}
-	if strings.Contains(out, "redundancy: 0 point evaluations") ||
-		strings.Contains(out, " 0 duplicate (") {
-		t.Errorf("redundancy summary is empty:\n%s", out)
+	if !strings.Contains(out, "redundancy: 0 point evaluations") {
+		t.Errorf("memoized run still executed point evaluations:\n%s", out)
+	}
+	if !strings.Contains(out, "memo:") || !strings.Contains(out, "(100% hit rate)") {
+		t.Errorf("memo summary missing or below full hit rate:\n%s", out)
+	}
+	if strings.Contains(out, "memo: 0 hits") {
+		t.Errorf("memo summary shows no traffic:\n%s", out)
 	}
 }
 

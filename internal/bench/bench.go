@@ -247,9 +247,9 @@ func Run(ctx context.Context, opt Options) (*Result, error) {
 		Redundancy:       snap.Redundancy,
 	}
 	if opt.Progress != nil {
-		fmt.Fprintf(opt.Progress, "bench: attribution run: %.1fms wall, %.1fms attributed, %.0f%% duplicate evaluations\n",
+		fmt.Fprintf(opt.Progress, "bench: attribution run: %.1fms wall, %.1fms attributed, %.0f%% duplicate evaluations, %.0f%% memo hit rate\n",
 			float64(res.Attribution.WallUS)/1000, float64(res.Attribution.AttributedWallUS)/1000,
-			snap.Redundancy.DuplicateFraction()*100)
+			snap.Redundancy.DuplicateFraction()*100, snap.Redundancy.MemoHitRate()*100)
 	}
 	return res, nil
 }
@@ -340,6 +340,11 @@ func (r *Result) Write(w io.Writer) error {
 			a.Redundancy.Evaluations, a.Redundancy.Unique, a.Redundancy.Duplicates,
 			a.Redundancy.DuplicateFraction()*100,
 			a.Redundancy.DuplicateInstructions, a.Redundancy.TotalInstructions); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "  memo: %d hits, %d misses (%.0f%% hit rate), %d instructions not re-simulated\n",
+			a.Redundancy.MemoHits, a.Redundancy.MemoMisses,
+			a.Redundancy.MemoHitRate()*100, a.Redundancy.MemoSavedInstructions); err != nil {
 			return err
 		}
 	}

@@ -175,16 +175,23 @@ func TestRunCollectsAttribution(t *testing.T) {
 			t.Errorf("point-level node %+v leaked into the baseline", n)
 		}
 	}
-	if a.Redundancy.Evaluations == 0 || a.Redundancy.Duplicates == 0 {
-		t.Errorf("redundancy = %+v, want recorded evaluations with duplicates", a.Redundancy)
+	// With the evaluation memo on (the default), the gated walks are
+	// answered from the table: no executed evaluations reach the
+	// redundancy analyzer, and the memo counters carry the traffic.
+	if a.Redundancy.Evaluations != 0 || a.Redundancy.Duplicates != 0 {
+		t.Errorf("redundancy = %+v, want no executed evaluations under the memo", a.Redundancy)
+	}
+	if a.Redundancy.MemoHits == 0 || a.Redundancy.MemoHitRate() != 1 {
+		t.Errorf("memo accounting = %+v, want full hit rate", a.Redundancy)
 	}
 
-	// The human rendering carries the attribution and redundancy lines.
+	// The human rendering carries the attribution, redundancy, and memo
+	// lines.
 	var b strings.Builder
 	if err := res.Write(&b); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"attribution:", "redundancy:"} {
+	for _, want := range []string{"attribution:", "redundancy:", "memo:"} {
 		if !strings.Contains(b.String(), want) {
 			t.Errorf("table missing %q:\n%s", want, b.String())
 		}

@@ -22,6 +22,7 @@ package cmpsim
 
 import (
 	"fmt"
+	"unsafe"
 
 	"xbsim/internal/fingerprint"
 	"xbsim/internal/xrand"
@@ -160,6 +161,26 @@ func (c HierarchyConfig) Digest() string {
 	}
 	h.Int(c.MemoryLatency)
 	return h.Sum()
+}
+
+// StateBytes estimates the resident cache-state footprint of one
+// simulated hierarchy: the line arrays every level allocates plus the
+// per-set slice headers. It is the per-walk figure the pipeline's
+// pipeline.memo.bytes_saved counter charges for each simulation the memo
+// table avoided, and the per-reuse figure the state pool recycles.
+func (c HierarchyConfig) StateBytes() uint64 {
+	const sliceHeader = 24 // ptr + len + cap on 64-bit
+	var total uint64
+	lineSize := uint64(unsafe.Sizeof(cacheLine{}))
+	for _, l := range c.Levels {
+		if l.LineSize == 0 || l.Associativity <= 0 {
+			continue
+		}
+		lines := l.CapacityBytes / l.LineSize
+		sets := lines / uint64(l.Associativity)
+		total += lines*lineSize + sets*sliceHeader
+	}
+	return total
 }
 
 // cacheLine is one way of one set.
@@ -332,7 +353,10 @@ func (c *Cache) prefetch(addr uint64) {
 	c.PrefetchFills++
 }
 
-// Reset clears all cache contents and statistics.
+// Reset clears all cache contents and statistics, returning the cache to
+// its exact just-constructed state: the Random policy's replacement
+// stream is re-seeded too, so a reused cache makes bit-identical victim
+// choices to a fresh one — the invariant the state pool relies on.
 func (c *Cache) Reset() {
 	for _, set := range c.sets {
 		for i := range set {
@@ -341,6 +365,9 @@ func (c *Cache) Reset() {
 	}
 	c.clock, c.Hits, c.Misses, c.PrefetchFills = 0, 0, 0, 0
 	c.Evictions, c.Writebacks, c.PrefetchEvictions = 0, 0, 0
+	if c.cfg.Replacement == Random {
+		c.rng = xrand.New("cmpsim/random-replacement/" + c.cfg.Name)
+	}
 }
 
 // Config returns the level's configuration.
@@ -350,6 +377,9 @@ func (c *Cache) Config() CacheConfig { return c.cfg }
 type Hierarchy struct {
 	levels []*Cache
 	memLat int
+	// digest is the builder configuration's Digest(), recorded so a
+	// StatePool can file a returned hierarchy under the right free list.
+	digest string
 }
 
 // NewHierarchy builds the hierarchy; the config must validate.
@@ -357,7 +387,7 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	h := &Hierarchy{memLat: cfg.MemoryLatency}
+	h := &Hierarchy{memLat: cfg.MemoryLatency, digest: cfg.Digest()}
 	for i, l := range cfg.Levels {
 		c, err := NewCache(l)
 		if err != nil {

@@ -102,25 +102,40 @@ type Simulator struct {
 	enabled bool
 	warming bool
 	stats   Stats
+	// pool, when non-nil, receives the hierarchy back on Release.
+	pool *StatePool
 }
 
 // NewSimulator builds a simulator for the binary with the given memory
 // system and the paper's default core. It starts enabled.
 func NewSimulator(bin *compiler.Binary, cfg HierarchyConfig) (*Simulator, error) {
-	return NewSimulatorWithCore(bin, cfg, DefaultCoreConfig())
+	return newSimulator(bin, cfg, DefaultCoreConfig(), nil)
 }
 
 // NewSimulatorWithCore builds a simulator with an explicit core model,
 // for architecture-exploration studies that vary the core as well as the
 // memory system.
 func NewSimulatorWithCore(bin *compiler.Binary, cfg HierarchyConfig, core CoreConfig) (*Simulator, error) {
+	return newSimulator(bin, cfg, core, nil)
+}
+
+// NewSimulatorPooled is NewSimulator drawing its cache-hierarchy state
+// from a StatePool instead of allocating it. Call Release when the walk
+// is done to return the state for reuse; a recycled hierarchy behaves
+// bit-identically to a fresh one (see StatePool). A nil pool degrades to
+// NewSimulator with a no-op Release.
+func NewSimulatorPooled(bin *compiler.Binary, cfg HierarchyConfig, pool *StatePool) (*Simulator, error) {
+	return newSimulator(bin, cfg, DefaultCoreConfig(), pool)
+}
+
+func newSimulator(bin *compiler.Binary, cfg HierarchyConfig, core CoreConfig, pool *StatePool) (*Simulator, error) {
 	if bin == nil {
 		return nil, fmt.Errorf("cmpsim: nil binary")
 	}
 	if err := core.Validate(); err != nil {
 		return nil, err
 	}
-	hier, err := NewHierarchy(cfg)
+	hier, err := pool.Get(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -131,6 +146,7 @@ func NewSimulatorWithCore(bin *compiler.Binary, cfg HierarchyConfig, core CoreCo
 		core:    core,
 		enabled: true,
 		warming: true,
+		pool:    pool,
 	}
 	s.stats.LevelHits = make([]uint64, len(hier.levels))
 	s.stats.LevelMisses = make([]uint64, len(hier.levels))
@@ -138,6 +154,22 @@ func NewSimulatorWithCore(bin *compiler.Binary, cfg HierarchyConfig, core CoreCo
 	// source statement touches the same addresses in every binary of the
 	// program (see addressGen).
 	seed := xrand.New("cmpsim/mem/" + bin.Program.Name).Uint64()
+	// Generator state lives in one arena sized by an upper-bound count of
+	// blocks with memory traffic (plus the stack generator), so building a
+	// simulator costs two slice allocations instead of one per block. The
+	// arena never outgrows its capacity, so the handed-out pointers stay
+	// valid.
+	memBlocks := 0
+	for i := range bin.Blocks {
+		if bin.Blocks[i].Loads+bin.Blocks[i].Stores > 0 {
+			memBlocks++
+		}
+	}
+	arena := make([]addressGen, 0, memBlocks+1)
+	alloc := func(g addressGen) *addressGen {
+		arena = append(arena, g)
+		return &arena[len(arena)-1]
+	}
 	// Generators are shared across blocks lowered from the same source
 	// statement (inline clones), keyed by source line.
 	byLine := map[int]*addressGen{}
@@ -154,14 +186,14 @@ func NewSimulatorWithCore(bin *compiler.Binary, cfg HierarchyConfig, core CoreCo
 		if ws < 64 {
 			ws = 64
 		}
-		g := &addressGen{
+		g := alloc(addressGen{
 			base:   uint64(b.Mem.Region+1) << 36,
 			ws:     ws,
 			stride: b.Mem.Stride,
 			random: b.Mem.Class == program.MemRandom,
 			seed:   seed,
 			line:   uint64(b.SrcLine),
-		}
+		})
 		if g.stride == 0 && !g.random {
 			g.stride = 8
 		}
@@ -171,12 +203,26 @@ func NewSimulatorWithCore(bin *compiler.Binary, cfg HierarchyConfig, core CoreCo
 		}
 	}
 	stack := bin.StackMem()
-	s.stackGen = &addressGen{
+	s.stackGen = alloc(addressGen{
 		base:   uint64(stack.Region+1) << 36,
 		ws:     stack.WorkingSet,
 		stride: stack.Stride,
-	}
+	})
 	return s, nil
+}
+
+// Release returns the simulator's hierarchy state to the pool it was
+// drawn from (a no-op for unpooled simulators). The simulator must not
+// be used afterwards: its cache state now belongs to the pool and may be
+// handed to another walk. Release is idempotent; the accumulated Stats
+// value remains readable, but level statistics (Hierarchy, event
+// counters) are gone.
+func (s *Simulator) Release() {
+	if s.pool != nil && s.hier != nil {
+		s.pool.Put(s.hier)
+	}
+	s.hier = nil
+	s.pool = nil
 }
 
 // SetEnabled gates statistics accumulation on or off. While disabled the

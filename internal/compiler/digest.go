@@ -1,0 +1,130 @@
+package compiler
+
+import (
+	"xbsim/internal/fingerprint"
+)
+
+// Digest returns a deterministic content digest of everything that
+// determines this binary's dynamic behavior under a given input: the
+// static block table (instruction mix, memory traffic, spill traffic,
+// memory patterns, source attribution), the marker table, the symbol
+// table, every lowered procedure body including inline clones, the
+// stack/spill region, the source program's loop trip specifications, the
+// program name (which seeds synthetic address generation — see
+// cmpsim.addressGen), and the compilation target.
+//
+// Two binaries with equal digests execute byte-identical block streams
+// and touch byte-identical addresses for any input, so the digest is a
+// sound binary component of a content-addressed simulation-result key.
+// The digest is computed once and cached; Binary is immutable after
+// compilation.
+func (b *Binary) Digest() string {
+	b.digestOnce.Do(func() { b.digest = b.computeDigest() })
+	return b.digest
+}
+
+func (b *Binary) computeDigest() string {
+	h := fingerprint.New()
+	h.String("xbsim/binary/v1")
+	h.String(b.Program.Name)
+	h.String(b.Name)
+	h.Int(int(b.Target.Arch))
+	h.Int(int(b.Target.Opt))
+	h.Int(b.StackRegion)
+
+	// Loop trip specifications: the realized trip counts are a pure
+	// function of (input seed, loop ID, entry ordinal, spec), so the specs
+	// pin the dynamic iteration structure.
+	loops := b.Program.Loops()
+	h.Int(len(loops))
+	for _, l := range loops {
+		h.Int(l.ID)
+		h.Int(l.Trip.Base)
+		h.Int(l.Trip.Jitter)
+	}
+
+	h.Int(len(b.Blocks))
+	for i := range b.Blocks {
+		blk := &b.Blocks[i]
+		h.Int(blk.Instrs)
+		h.Int(blk.FPInstrs)
+		h.Int(blk.Loads)
+		h.Int(blk.Stores)
+		h.Int(blk.SpillLoads)
+		h.Int(blk.SpillStores)
+		h.Int(blk.Mem.Region)
+		h.Uint64(blk.Mem.WorkingSet)
+		h.Uint64(blk.Mem.Stride)
+		h.Int(int(blk.Mem.Class))
+		h.Int(blk.SrcProc)
+		h.Int(blk.SrcLine)
+	}
+
+	h.Int(len(b.Markers))
+	for i := range b.Markers {
+		m := &b.Markers[i]
+		h.Int(int(m.Kind))
+		h.Int(m.Block)
+		h.String(m.Symbol)
+		h.Int(m.Line)
+		h.String(m.EnclosingSymbol)
+		h.Int(m.SourceLoopID)
+		h.Int(m.Piece)
+	}
+
+	h.Int(len(b.Symbols))
+	for i := range b.Symbols {
+		s := &b.Symbols[i]
+		h.String(s.Symbol)
+		h.Int(s.ProcIndex)
+		h.Int(s.EntryBlock)
+	}
+
+	h.Int(len(b.Procs))
+	for _, body := range b.Procs {
+		hashBody(h, body)
+	}
+	return h.Sum()
+}
+
+// hashBody folds one lowered body (or nil) into the hash, recursing
+// through loops and inline clones. Distinct node kinds are tagged so
+// structurally different trees never collide by concatenation.
+func hashBody(h *fingerprint.Hasher, body *LBody) {
+	if body == nil {
+		h.Int(-1)
+		return
+	}
+	h.Int(0)
+	h.Int(body.ProcIndex)
+	h.Int(body.EntryBlock)
+	hashStmts(h, body.Stmts)
+}
+
+func hashStmts(h *fingerprint.Hasher, stmts []LStmt) {
+	h.Int(len(stmts))
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *LBlock:
+			h.Int(1)
+			h.Int(s.Block)
+		case *LLoop:
+			h.Int(2)
+			h.Int(s.SourceID)
+			h.Int(s.Unroll)
+			h.Int(len(s.Pieces))
+			for _, p := range s.Pieces {
+				h.Int(p.EntryBlock)
+				h.Int(p.LatchBlock)
+				hashStmts(h, p.Body)
+			}
+		case *LCall:
+			h.Int(3)
+			h.Int(s.SiteBlock)
+			h.Int(s.Callee)
+			hashBody(h, s.Inlined)
+		default:
+			h.Int(4)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package compiler
+
+import (
+	"testing"
+
+	"xbsim/internal/program"
+)
+
+func TestBinaryDigest(t *testing.T) {
+	gen := func(name string) *program.Program {
+		p, err := program.Generate(name, program.GenConfig{TargetOps: 100_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p := gen("gzip")
+	bins, err := CompileAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stable: recompiling the same program yields the same digests.
+	again, err := CompileAll(gen("gzip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bins {
+		if bins[i].Digest() != again[i].Digest() {
+			t.Fatalf("%s digest not stable across recompiles", bins[i].Name)
+		}
+		if bins[i].Digest() != bins[i].Digest() {
+			t.Fatal("digest not cached consistently")
+		}
+	}
+	// Distinct across targets: different codegen, different content.
+	seen := map[string]string{}
+	for _, b := range bins {
+		if prev, dup := seen[b.Digest()]; dup {
+			t.Fatalf("targets %s and %s share a digest", prev, b.Name)
+		}
+		seen[b.Digest()] = b.Name
+	}
+	// Distinct across programs.
+	other := MustCompile(gen("mcf"), AllTargets[0])
+	if other.Digest() == bins[0].Digest() {
+		t.Fatal("different programs share a digest")
+	}
+}

@@ -17,7 +17,14 @@ func TestPipelineAttribution(t *testing.T) {
 	o := &obs.Observer{Metrics: obs.NewRegistry(), Attrib: obs.NewAttribution()}
 	ctx := obs.With(context.Background(), o)
 
-	res, err := RunBenchmarkCtx(ctx, "gzip", testConfig("gzip"))
+	// This test pins the *executed-walk* invariants the redundancy
+	// analyzer measures — per-walk wall times and the cross-binary
+	// duplicate fraction — so it runs with the evaluation memo off.
+	// (With the memo on, the gated walks are answered from the table and
+	// never reach RecordEval; TestMemoRedundancyEliminated covers that.)
+	cfg := testConfig("gzip")
+	cfg.DisableMemo = true
+	res, err := RunBenchmarkCtx(ctx, "gzip", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -84,12 +84,26 @@ type Config struct {
 	// resumes where it stopped. Invalid or corrupt checkpoints are
 	// detected by fingerprint mismatch and recomputed.
 	CheckpointDir string
+	// DisableMemo turns off the content-addressed evaluation memo table
+	// (see internal/experiment/memo.go). Memoization is on by default and
+	// never changes results — a memoized suite is fingerprint-identical
+	// to an unmemoized one — so this knob exists for A/B measurement
+	// (the bench harness, the memo-determinism tests) and as an escape
+	// hatch. It is deliberately excluded from the checkpoint
+	// configuration fingerprint.
+	DisableMemo bool
 
 	// workerPool is the shared bounded pool threaded through the
 	// pipeline. RunCtx installs one pool for the whole suite so
 	// concurrent benchmarks share a single Workers budget;
 	// RunBenchmarkCtx creates its own when none is installed.
 	workerPool *pool.Pool
+	// memo is the suite-wide content-addressed evaluation memo table,
+	// installed alongside workerPool (nil when DisableMemo).
+	memo *evalMemo
+	// simPool recycles cmpsim cache-hierarchy state across evaluation
+	// walks, installed alongside workerPool.
+	simPool *cmpsim.StatePool
 }
 
 // QuickConfig is a reduced configuration for tests and go-test benches:

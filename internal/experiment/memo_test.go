@@ -1,0 +1,201 @@
+package experiment
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+
+	"xbsim/internal/faults"
+	"xbsim/internal/obs"
+	"xbsim/internal/simpoint"
+)
+
+// TestMemoDeterminism pins the memo's core contract: a memoized suite is
+// fingerprint-identical to an unmemoized one, at Workers=1 and at
+// Workers=GOMAXPROCS. Run under -race this also exercises the memo
+// table's concurrency (suite-wide table, parallel benchmarks, parallel
+// per-binary evaluation).
+func TestMemoDeterminism(t *testing.T) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		on := testConfig("gzip", "mcf")
+		on.Workers = workers
+		off := on
+		off.DisableMemo = true
+
+		memoized, err := RunCtx(context.Background(), on)
+		if err != nil {
+			t.Fatalf("workers=%d memo on: %v", workers, err)
+		}
+		plain, err := RunCtx(context.Background(), off)
+		if err != nil {
+			t.Fatalf("workers=%d memo off: %v", workers, err)
+		}
+		if got, want := memoized.Fingerprint(), plain.Fingerprint(); got != want {
+			t.Fatalf("workers=%d: memoized suite %s != unmemoized %s", workers, got, want)
+		}
+	}
+}
+
+// TestMemoMetricParity pins the synthesized metric families: every sim.*
+// counter a memoized run publishes — per-walk stats, the legacy gated
+// family, per-level hit/miss and cache event counters — must equal the
+// executed run's, because the memo replays walk 3's per-interval deltas
+// and full-stream event counters bit for bit.
+func TestMemoMetricParity(t *testing.T) {
+	run := func(disable bool) map[string]uint64 {
+		o := &obs.Observer{Metrics: obs.NewRegistry()}
+		cfg := testConfig("gzip")
+		cfg.DisableMemo = disable
+		if _, err := RunBenchmarkCtx(obs.With(context.Background(), o), "gzip", cfg); err != nil {
+			t.Fatal(err)
+		}
+		sim := map[string]uint64{}
+		for name, v := range o.Metrics.Snapshot().Counters {
+			if strings.HasPrefix(name, "sim.") {
+				sim[name] = v
+			}
+		}
+		return sim
+	}
+	memoized, executed := run(false), run(true)
+	if len(memoized) != len(executed) {
+		t.Errorf("memoized run published %d sim.* counters, executed %d", len(memoized), len(executed))
+	}
+	for name, want := range executed {
+		if got, ok := memoized[name]; !ok {
+			t.Errorf("%s missing from memoized run", name)
+		} else if got != want {
+			t.Errorf("%s = %d memoized, %d executed", name, got, want)
+		}
+	}
+}
+
+// TestMemoRedundancyEliminated pins the headline effect: with the memo
+// on (the default), the gated walks are answered from walk 3's table, so
+// the redundancy analyzer — which counts *executed* point evaluations —
+// sees none, and the duplicate fraction PR 6 measured at ~36% drops to
+// zero. The memo counters take over the accounting.
+func TestMemoRedundancyEliminated(t *testing.T) {
+	o := &obs.Observer{Metrics: obs.NewRegistry(), Attrib: obs.NewAttribution()}
+	res, err := RunBenchmarkCtx(obs.With(context.Background(), o), "gzip", testConfig("gzip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantPoints uint64
+	for _, run := range res.Runs {
+		wantPoints += uint64(run.FLI.NumPoints + run.VLI.NumPoints)
+	}
+
+	r := o.Attrib.Snapshot().Redundancy
+	if r.Evaluations != 0 || r.Duplicates != 0 {
+		t.Errorf("executed evaluations = %d (%d duplicates), want 0 with memo on",
+			r.Evaluations, r.Duplicates)
+	}
+	if r.MemoHits != wantPoints {
+		t.Errorf("memo hits = %d, want %d (every gated point answered from the table)",
+			r.MemoHits, wantPoints)
+	}
+	if r.MemoMisses != 0 {
+		t.Errorf("memo misses = %d, want 0 (walk 3 populates before walks 4/5 look up)", r.MemoMisses)
+	}
+	if rate := r.MemoHitRate(); rate != 1 {
+		t.Errorf("memo hit rate = %v, want 1", rate)
+	}
+	if r.MemoSavedInstructions == 0 {
+		t.Error("memo saved no instructions")
+	}
+
+	snap := o.Metrics.Snapshot()
+	if got := snap.Counters["pipeline.memo.hits"]; got != wantPoints {
+		t.Errorf("pipeline.memo.hits = %d, want %d", got, wantPoints)
+	}
+	if got := snap.Counters["pipeline.memo.misses"]; got != 0 {
+		t.Errorf("pipeline.memo.misses = %d, want 0", got)
+	}
+	if snap.Counters["pipeline.memo.instructions_saved"] == 0 {
+		t.Error("pipeline.memo.instructions_saved not recorded")
+	}
+	if snap.Counters["pipeline.memo.bytes_saved"] == 0 {
+		t.Error("pipeline.memo.bytes_saved not recorded")
+	}
+
+	// The memoized walks still attribute: walk nodes for fli/vli exist
+	// with the synthesized totals folded in.
+	for _, n := range o.Attrib.Snapshot().Walks() {
+		if (n.Walk == "fli" || n.Walk == "vli") && n.Value.Instructions == 0 {
+			t.Errorf("memoized walk %s/%s attributed no instructions", n.Binary, n.Walk)
+		}
+	}
+}
+
+// TestMemoBypassedWhenWarmingDisabled: without functional warming the
+// stream-identity argument does not hold, so the memo must stay out of
+// the way entirely — no hits, no misses, walks execute as before.
+func TestMemoBypassedWhenWarmingDisabled(t *testing.T) {
+	o := &obs.Observer{Metrics: obs.NewRegistry(), Attrib: obs.NewAttribution()}
+	cfg := testConfig("mcf")
+	cfg.DisableWarming = true
+	if _, err := RunBenchmarkCtx(obs.With(context.Background(), o), "mcf", cfg); err != nil {
+		t.Fatal(err)
+	}
+	snap := o.Metrics.Snapshot()
+	if h, m := snap.Counters["pipeline.memo.hits"], snap.Counters["pipeline.memo.misses"]; h != 0 || m != 0 {
+		t.Errorf("memo traffic with warming off: %d hits, %d misses, want 0/0", h, m)
+	}
+	if r := o.Attrib.Snapshot().Redundancy; r.Evaluations == 0 {
+		t.Error("cold run executed no point evaluations — memo must not engage without warming")
+	}
+}
+
+// TestEvaluateWalkAbortClosesSamples is the regression test for the
+// walk-sample leak: a fault injected after StartWalk (the "evaluate.walk"
+// hook) used to leave the sample open forever. The deferred Abort must
+// close it on the faulted attempt, the retry must recover bit-identically,
+// and no walk samples may remain open after the run.
+func TestEvaluateWalkAbortClosesSamples(t *testing.T) {
+	baseline, err := RunBenchmark("gzip", testConfig("gzip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.NewInjector(
+		faults.Rule{Stage: "evaluate.walk", Index: 0, Kind: faults.KindError},
+	)
+	o := &obs.Observer{Metrics: obs.NewRegistry(), Attrib: obs.NewAttribution()}
+	ctx := obs.With(faults.With(context.Background(), inj), o)
+	res, err := RunBenchmarkCtx(ctx, "gzip", retryConfig("gzip"))
+	if err != nil {
+		t.Fatalf("faulted walk was not retried away: %v", err)
+	}
+	if got, want := res.Fingerprint(), baseline.Fingerprint(); got != want {
+		t.Fatalf("post-fault run diverged: %s != %s", got, want)
+	}
+	if n := o.Attrib.OpenWalks(); n != 0 {
+		t.Fatalf("%d walk samples left open after a faulted-then-retried run", n)
+	}
+	if n := o.Metrics.Counter("pipeline.retries").Value(); n == 0 {
+		t.Fatal("evaluate.walk fault recovered without a retry")
+	}
+}
+
+// TestRecalcWeightsZeroTotal pins the division guard: a binary that
+// executes no instructions under the shared VLI boundaries must surface
+// a real error, not NaN weights.
+func TestRecalcWeightsZeroTotal(t *testing.T) {
+	pick := &simpoint.Result{K: 2, PhaseOf: []int{0, 1, 0}}
+	snap := &snapshotter{instr: []uint64{0, 0, 0}}
+	if _, err := recalcWeights(pick, snap, 0); err == nil {
+		t.Fatal("zero-total recalcWeights returned no error")
+	} else if !strings.Contains(err.Error(), "no instructions") {
+		t.Fatalf("error does not name the cause: %v", err)
+	}
+
+	snap.instr = []uint64{10, 30, 10}
+	w, err := recalcWeights(pick, snap, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != 0.4 || w[1] != 0.6 {
+		t.Fatalf("weights = %v, want [0.4 0.6]", w)
+	}
+}

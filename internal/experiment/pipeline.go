@@ -91,6 +91,7 @@ type BenchmarkResult struct {
 var PipelineStages = []string{
 	"compile", "profile", "profile.task", "mapping", "vli",
 	"clustering", "clustering.task", "evaluate", "evaluate.task",
+	"evaluate.walk",
 }
 
 // RunBenchmark executes the full pipeline for one benchmark.
@@ -164,6 +165,15 @@ func runPipeline(ctx context.Context, name string, gen func() (*program.Program,
 	if cfg.workerPool == nil {
 		cfg.workerPool = pool.New(cfg.Workers)
 		instrumentPool(cfg.workerPool, o)
+	}
+	// Suite-level runs (RunCtx) install one memo table and one simulator
+	// state pool for all benchmarks; a standalone benchmark run gets its
+	// own here.
+	if cfg.memo == nil && !cfg.DisableMemo {
+		cfg.memo = newEvalMemo()
+	}
+	if cfg.simPool == nil {
+		cfg.simPool = cmpsim.NewStatePool()
 	}
 	ctx, bspan := obs.StartSpan(ctx, "benchmark")
 	bspan.Annotate(name)
@@ -349,16 +359,29 @@ func evaluateBinary(ctx context.Context, cfg Config, bins []*compiler.Binary, bi
 		fliKey = func(iv int) string { return fli.Dataset.Vector(iv).Fingerprint() + digest }
 		vliKey = func(iv int) string { return vli.Dataset.Vector(iv).Fingerprint() + digest }
 	}
+	// Memo keys: binary content digest × input × hierarchy digest ×
+	// warming mode × boundary-set digest. Only built with functional
+	// warming on — that is what makes the full walk's per-interval deltas
+	// bit-identical to the gated walks' region measurements (memo.go).
+	var fliMemoKey, vliMemoKey string
+	if cfg.memo != nil && !cfg.DisableWarming {
+		base := memoKeyBase(bin, &cfg)
+		fliMemoKey = base + "/" + digestFLIEnds(fli.Ends)
+		vliMemoKey = base + "/" + digestVLIEnds(vliEnds)
+	}
 
 	// Walk 3: full simulation with both interval attributions.
 	o.Report(obs.Event{Benchmark: bin.Program.Name, Binary: bin.Name, Stage: "full simulation"})
 	fctx, fspan := obs.StartSpan(ctx, "stage.full_sim")
 	fspan.Annotate(bin.Name)
+	defer fspan.End()
 	fws := att.StartWalk(bin.Program.Name, bin.Name, "full")
-	fullSim, err := cmpsim.NewSimulator(bin, cfg.Hierarchy)
+	defer fws.Abort() // close the sample on every error path; Done wins
+	fullSim, err := cmpsim.NewSimulatorPooled(bin, cfg.Hierarchy, cfg.simPool)
 	if err != nil {
 		return nil, err
 	}
+	defer fullSim.Release()
 	fliSnap := newSnapshotter(fullSim, len(fli.Ends))
 	vliSnap := newSnapshotter(fullSim, len(vliEnds))
 	fliTr := profile.NewFLITracker(bin, fli.Ends, fliSnap)
@@ -376,6 +399,15 @@ func evaluateBinary(ctx context.Context, cfg Config, bins []*compiler.Binary, bi
 		fullSim.PublishMetrics(o.Metrics, "sim")
 		fullSim.PublishMetrics(o.Metrics, "sim.full")
 	}
+	// Populate the memo with walk 3's per-interval deltas under both
+	// boundary sets, then recycle the cache state — walks 4/5 below are
+	// answered from the table and never build a simulator on a hit.
+	if fliMemoKey != "" {
+		events := captureEvents(fullSim.Hierarchy())
+		cfg.memo.store(fliMemoKey, fliSnap.entry(events))
+		cfg.memo.store(vliMemoKey, vliSnap.entry(events))
+	}
+	fullSim.Release()
 
 	run := &BinaryRun{
 		Binary:            bin,
@@ -390,7 +422,7 @@ func evaluateBinary(ctx context.Context, cfg Config, bins []*compiler.Binary, bi
 
 	// Walk 4: FLI region simulation (this binary's own points).
 	o.Report(obs.Event{Benchmark: bin.Program.Name, Binary: bin.Name, Stage: "gated simulation"})
-	fliPointCPI, fliPointIv, err := simulatePoints(ctx, cfg, bin, fliPick, "fli", fliKey,
+	fliPointCPI, fliPointIv, err := simulatePoints(ctx, cfg, bin, fliPick, "fli", fliKey, fliMemoKey,
 		func(sink profile.IntervalSink) exec.Visitor {
 			return profile.NewFLITracker(bin, fli.Ends, sink)
 		})
@@ -408,7 +440,7 @@ func evaluateBinary(ctx context.Context, cfg Config, bins []*compiler.Binary, bi
 
 	// Walk 5: VLI region simulation (the shared cross-binary points
 	// located in this binary via translated boundaries).
-	vliPointCPI, vliPointIv, err := simulatePoints(ctx, cfg, bin, vliPick, "vli", vliKey,
+	vliPointCPI, vliPointIv, err := simulatePoints(ctx, cfg, bin, vliPick, "vli", vliKey, vliMemoKey,
 		func(sink profile.IntervalSink) exec.Visitor {
 			return profile.NewVLITracker(bin, vliEnds, sink)
 		})
@@ -419,7 +451,11 @@ func evaluateBinary(ctx context.Context, cfg Config, bins []*compiler.Binary, bi
 	// instruction counts (§3.2.6).
 	_, wspan = obs.StartSpan(ctx, "stage.weighting")
 	wspan.Annotate(bin.Name)
-	vliWeights := recalcWeights(vliPick, vliSnap, run.TotalInstructions)
+	vliWeights, err := recalcWeights(vliPick, vliSnap, run.TotalInstructions)
+	if err != nil {
+		wspan.End()
+		return nil, fmt.Errorf("%s VLI weights: %w", bin.Name, err)
+	}
 	run.VLI, err = buildMethodStats(vliPick, vliSnap, vliPointCPI, vliPointIv,
 		len(vliEnds), run, vliWeights)
 	wspan.End()
@@ -460,25 +496,78 @@ func instrumentPool(p *pool.Pool, o *obs.Observer) {
 	})
 }
 
-// simulatePoints runs one region-gated simulation walk and returns, per
-// phase, the measured CPI of its simulation point and the representative
-// interval index. walk names the walk for attribution and the per-walk
-// metric family ("fli" or "vli"); evalKey, when non-nil, maps a chosen
-// interval to its redundancy-analysis evaluation key.
+// simulatePoints measures one region-gated simulation walk and returns,
+// per phase, the measured CPI of its simulation point and the
+// representative interval index. walk names the walk for attribution and
+// the per-walk metric family ("fli" or "vli"); evalKey, when non-nil,
+// maps a chosen interval to its redundancy-analysis evaluation key.
+//
+// When memoKey is non-empty and walk 3 has already filed this
+// (binary, input, config, warming, boundary-set) combination in the memo
+// table, the walk is answered entirely from the table: no simulator is
+// built, no execution happens, and the synthesized results — point CPIs,
+// attribution, and the sim.gated / sim.<walk> metric families — are
+// bit-identical to what the executed walk would have produced (see
+// memo.go for the argument). Otherwise the walk simulates as before.
 func simulatePoints(ctx context.Context, cfg Config, bin *compiler.Binary, pick *simpoint.Result,
-	walk string, evalKey func(interval int) string,
+	walk string, evalKey func(interval int) string, memoKey string,
 	makeTracker func(profile.IntervalSink) exec.Visitor) (cpi []float64, intervals []int, err error) {
 
 	gctx, gspan := obs.StartSpan(ctx, "stage.gated_sim")
 	gspan.Annotate(bin.Name)
 	defer gspan.End()
 
-	att := obs.From(ctx).Attribution()
+	o := obs.From(ctx)
+	att := o.Attribution()
 	ws := att.StartWalk(bin.Program.Name, bin.Name, walk)
-	sim, err := cmpsim.NewSimulator(bin, cfg.Hierarchy)
+	defer ws.Abort() // close the sample on every error path; Done wins
+	if err := faults.Hit(gctx, "evaluate.walk"); err != nil {
+		return nil, nil, err
+	}
+
+	cpi = make([]float64, pick.K)
+	intervals = make([]int, pick.K)
+	for p := range cpi {
+		cpi[p] = math.NaN()
+		intervals[p] = -1
+	}
+
+	if entry := cfg.memo.lookup(memoKey); memoKey != "" && entry != nil && entry.covers(pick.Points) {
+		var win intervalStats // the gated walk's Stats window, synthesized
+		for _, p := range pick.Points {
+			st := &entry.intervals[p.Interval]
+			if st.instr == 0 {
+				return nil, nil, fmt.Errorf("simulation point interval %d executed nothing in %s",
+					p.Interval, bin.Name)
+			}
+			win.add(st)
+			cpi[p.Phase] = float64(st.cycles) / float64(st.instr)
+			intervals[p.Phase] = p.Interval
+			att.AddPoint(bin.Program.Name, bin.Name, walk, p.Interval, st.instr, st.cycles)
+		}
+		ws.Done(win.instr, win.cycles)
+		if o != nil {
+			publishMemoMetrics(o.Metrics, "sim.gated", &win, entry.events)
+			publishMemoMetrics(o.Metrics, "sim."+walk, &win, entry.events)
+		}
+		o.Counter("pipeline.memo.hits").Add(uint64(len(pick.Points)))
+		o.Counter("pipeline.memo.instructions_saved").Add(win.instr)
+		o.Counter("pipeline.memo.bytes_saved").Add(cfg.Hierarchy.StateBytes())
+		att.RecordMemo(uint64(len(pick.Points)), 0, win.instr)
+		return cpi, intervals, nil
+	}
+	if memoKey != "" {
+		// Memo enabled but no usable entry (shouldn't happen with warming
+		// on — walk 3 always populates first — but counted honestly).
+		o.Counter("pipeline.memo.misses").Add(uint64(len(pick.Points)))
+		att.RecordMemo(0, uint64(len(pick.Points)), 0)
+	}
+
+	sim, err := cmpsim.NewSimulatorPooled(bin, cfg.Hierarchy, cfg.simPool)
 	if err != nil {
 		return nil, nil, err
 	}
+	defer sim.Release()
 	sim.SetFunctionalWarming(!cfg.DisableWarming)
 	chosen := make(map[int]bool, len(pick.Points))
 	for _, p := range pick.Points {
@@ -492,19 +581,13 @@ func simulatePoints(ctx context.Context, cfg Config, bin *compiler.Binary, pick 
 	gate.close()
 	simStats := sim.Stats()
 	ws.Done(simStats.Instructions, simStats.Cycles)
-	if o := obs.From(ctx); o != nil {
+	if o != nil {
 		// "sim.gated" is the legacy family covering walks 4 and 5 together;
 		// "sim.fli"/"sim.vli" split it per walk.
 		sim.PublishMetrics(o.Metrics, "sim.gated")
 		sim.PublishMetrics(o.Metrics, "sim."+walk)
 	}
 
-	cpi = make([]float64, pick.K)
-	intervals = make([]int, pick.K)
-	for p := range cpi {
-		cpi[p] = math.NaN()
-		intervals[p] = -1
-	}
 	for _, p := range pick.Points {
 		st := gate.regions[p.Interval]
 		if st.instr == 0 {
@@ -522,8 +605,14 @@ func simulatePoints(ctx context.Context, cfg Config, bin *compiler.Binary, pick 
 }
 
 // recalcWeights computes per-phase weights from this binary's per-interval
-// instruction counts under the shared VLI boundaries.
-func recalcWeights(pick *simpoint.Result, snap *snapshotter, total uint64) []float64 {
+// instruction counts under the shared VLI boundaries. A zero total would
+// otherwise divide every weight into NaN and let the NaNs flow silently
+// through buildMethodStats' weights[p] <= 0 filter into EstCPI, so it is
+// rejected explicitly.
+func recalcWeights(pick *simpoint.Result, snap *snapshotter, total uint64) ([]float64, error) {
+	if total == 0 {
+		return nil, fmt.Errorf("no usable simulation points: binary executed no instructions")
+	}
 	w := make([]float64, pick.K)
 	for iv, phase := range pick.PhaseOf {
 		if iv < len(snap.instr) {
@@ -533,7 +622,7 @@ func recalcWeights(pick *simpoint.Result, snap *snapshotter, total uint64) []flo
 	for p := range w {
 		w[p] /= float64(total)
 	}
-	return w
+	return w, nil
 }
 
 // buildMethodStats assembles a MethodStats from the pieces. weights == nil
@@ -595,23 +684,44 @@ func buildMethodStats(pick *simpoint.Result, snap *snapshotter,
 	return ms, nil
 }
 
-// snapshotter attributes a simulator's cumulative instruction/cycle
-// counters to intervals as an IntervalSink: on each transition the delta
-// since the previous snapshot is charged to the interval just left.
+// snapshotter attributes a simulator's cumulative statistics to
+// intervals as an IntervalSink: on each transition the delta since the
+// previous snapshot is charged to the interval just left. It captures
+// the complete Stats delta — instructions, cycles, loads, stores, DRAM
+// accesses, and per-level hits/misses — because the full walk's
+// per-interval deltas are exactly what the memo table replays in place
+// of the gated walks (see memo.go); the per-level arrays are flat
+// ([interval*levels + level]) so the capture costs two allocations, not
+// two per interval.
 type snapshotter struct {
-	sim    *cmpsim.Simulator
-	cur    int
-	lastI  uint64
-	lastC  uint64
-	instr  []uint64
-	cycles []uint64
+	sim            *cmpsim.Simulator
+	cur            int
+	nlev           int
+	lastI          uint64
+	lastC          uint64
+	lastL          uint64
+	lastS          uint64
+	lastD          uint64
+	lastLH, lastLM []uint64
+
+	instr, cycles, loads, stores, dram []uint64
+	levelHits, levelMisses             []uint64 // flat [interval*nlev + level]
 }
 
 func newSnapshotter(sim *cmpsim.Simulator, numIntervals int) *snapshotter {
+	nlev := len(sim.Stats().LevelHits)
 	return &snapshotter{
-		sim:    sim,
-		instr:  make([]uint64, numIntervals),
-		cycles: make([]uint64, numIntervals),
+		sim:         sim,
+		nlev:        nlev,
+		lastLH:      make([]uint64, nlev),
+		lastLM:      make([]uint64, nlev),
+		instr:       make([]uint64, numIntervals),
+		cycles:      make([]uint64, numIntervals),
+		loads:       make([]uint64, numIntervals),
+		stores:      make([]uint64, numIntervals),
+		dram:        make([]uint64, numIntervals),
+		levelHits:   make([]uint64, numIntervals*nlev),
+		levelMisses: make([]uint64, numIntervals*nlev),
 	}
 }
 
@@ -629,12 +739,45 @@ func (s *snapshotter) flush() {
 	if s.cur < len(s.instr) {
 		s.instr[s.cur] += st.Instructions - s.lastI
 		s.cycles[s.cur] += st.Cycles - s.lastC
+		s.loads[s.cur] += st.Loads - s.lastL
+		s.stores[s.cur] += st.Stores - s.lastS
+		s.dram[s.cur] += st.MemoryAccesses - s.lastD
+		base := s.cur * s.nlev
+		for li := 0; li < s.nlev; li++ {
+			s.levelHits[base+li] += st.LevelHits[li] - s.lastLH[li]
+			s.levelMisses[base+li] += st.LevelMisses[li] - s.lastLM[li]
+		}
 	}
 	s.lastI, s.lastC = st.Instructions, st.Cycles
+	s.lastL, s.lastS, s.lastD = st.Loads, st.Stores, st.MemoryAccesses
+	copy(s.lastLH, st.LevelHits)
+	copy(s.lastLM, st.LevelMisses)
 }
 
 // close flushes the final interval; call after the run.
 func (s *snapshotter) close() { s.flush() }
+
+// entry packages the captured per-interval deltas as a memo entry;
+// events carries the walk's full-stream cache event counters (see
+// captureEvents). The level slices are three-index subslices of the flat
+// backings, so the entry shares the snapshotter's storage without
+// copying.
+func (s *snapshotter) entry(events []levelEvents) *memoEntry {
+	e := &memoEntry{intervals: make([]intervalStats, len(s.instr)), events: events}
+	for i := range e.intervals {
+		base := i * s.nlev
+		e.intervals[i] = intervalStats{
+			instr:       s.instr[i],
+			cycles:      s.cycles[i],
+			loads:       s.loads[i],
+			stores:      s.stores[i],
+			dram:        s.dram[i],
+			levelHits:   s.levelHits[base : base+s.nlev : base+s.nlev],
+			levelMisses: s.levelMisses[base : base+s.nlev : base+s.nlev],
+		}
+	}
+	return e
+}
 
 // regionStat is one simulated region's accumulation.
 type regionStat struct {
@@ -739,6 +882,14 @@ func RunCtx(ctx context.Context, cfg Config) (*Suite, error) {
 	cfg.workerPool = pool.New(cfg.Workers)
 	o := obs.From(ctx)
 	instrumentPool(cfg.workerPool, o)
+	// One memo table and one simulator state pool serve the whole suite,
+	// so identical evaluation work recurring across benchmarks (duplicate
+	// program specs, repeated configs) is reused and cache-hierarchy
+	// state is recycled across all benchmarks' walks.
+	if !cfg.DisableMemo {
+		cfg.memo = newEvalMemo()
+	}
+	cfg.simPool = cmpsim.NewStatePool()
 	cfgFP := cfg.fingerprint()
 	results := make([]*BenchmarkResult, len(cfg.Benchmarks))
 	errs := make([]error, len(cfg.Benchmarks))

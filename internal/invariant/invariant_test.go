@@ -103,6 +103,35 @@ func TestTallies(t *testing.T) {
 	}
 }
 
+// TestCheckProgramEdgeSpec pushes the smallest program the spec space
+// admits — one behavior, one segment, minimum operation count, a single
+// tiny working set — through the full pipeline. This is the edge the
+// zero-instruction weight guards (xbsim.CrossPoints.ForBinary and the
+// experiment pipeline's recalcWeights) defend: a binary whose
+// recalculation pass executes nothing used to divide 0/0 into NaN VLI
+// weights that flowed silently into EstCPI. The weight-sum invariant
+// rejects NaN and non-distribution weights, so a regression of either
+// guard — or any generator change that lets a degenerate program reach
+// the division — fails here rather than corrupting estimates.
+func TestCheckProgramEdgeSpec(t *testing.T) {
+	edge := program.Spec{
+		TargetOps: 1, // wraps to minSpecOps, the smallest legal run
+		Behaviors: 1,
+		Segments:  1,
+		WSLadder:  []uint64{1 << 10},
+	}
+	cfg := Config{IntervalSize: 2000, MaxK: 2}
+	pr := CheckProgram(context.Background(), edge, cfg)
+	if pr.Err != "" {
+		t.Fatalf("edge spec broke the pipeline: %s", pr.Err)
+	}
+	for _, c := range pr.Checks {
+		if !c.OK {
+			t.Errorf("edge spec: %s failed: %s", c.Name, c.Detail)
+		}
+	}
+}
+
 func TestCheckProgramOpsOverride(t *testing.T) {
 	s := program.RandomSpec(9, 0)
 	cfg := small

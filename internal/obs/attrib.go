@@ -32,6 +32,17 @@ type Attribution struct {
 	dupEvals  uint64
 	evalInstr uint64
 	dupInstr  uint64
+
+	// Memoization accounting: point evaluations answered from the
+	// content-addressed memo table instead of being simulated.
+	memoHits       uint64
+	memoMisses     uint64
+	memoSavedInstr uint64
+
+	// openWalks counts StartWalk samples not yet closed by Done or
+	// Abort. It should be zero whenever the pipeline is quiescent; a
+	// nonzero value means a walk sample leaked on some code path.
+	openWalks int64
 }
 
 // NewAttribution returns an empty, enabled attribution profiler.
@@ -98,12 +109,16 @@ func (a *Attribution) add(key AttribKey, v AttribValue) {
 }
 
 // WalkSample times one evaluation walk. Obtain one from StartWalk and
-// call Done exactly once; a nil sample ignores Done.
+// close it exactly once with Done (success) or Abort (failure); extra
+// closes are ignored, so `defer ws.Abort()` after a StartWalk is the
+// safe idiom — a later Done wins and the deferred Abort is a no-op. A
+// nil sample ignores both.
 type WalkSample struct {
 	a      *Attribution
 	key    AttribKey
 	start  time.Time
 	alloc0 uint64
+	closed bool
 }
 
 // StartWalk opens a walk-level sample. On a nil receiver it returns nil
@@ -114,6 +129,9 @@ func (a *Attribution) StartWalk(benchmark, binary, walk string) *WalkSample {
 	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
+	a.mu.Lock()
+	a.openWalks++
+	a.mu.Unlock()
 	return &WalkSample{
 		a:      a,
 		key:    AttribKey{Benchmark: benchmark, Binary: binary, Walk: walk, Point: WholeWalk},
@@ -125,9 +143,10 @@ func (a *Attribution) StartWalk(benchmark, binary, walk string) *WalkSample {
 // Done closes the sample, charging the walk's wall time and allocation
 // plus the simulated instruction/cycle totals to its walk-level node.
 func (s *WalkSample) Done(instructions, cycles uint64) {
-	if s == nil {
+	if s == nil || s.closed {
 		return
 	}
+	s.closed = true
 	elapsed := time.Since(s.start)
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
@@ -137,6 +156,32 @@ func (s *WalkSample) Done(instructions, cycles uint64) {
 		Instructions: instructions,
 		Cycles:       cycles,
 	})
+	s.a.mu.Lock()
+	s.a.openWalks--
+	s.a.mu.Unlock()
+}
+
+// Abort closes a sample whose walk failed, still charging the wall time
+// and allocation spent before the failure (so faulted attempts are not
+// invisible in the profile) but no simulated work. Calling Abort after
+// Done — the deferred-Abort idiom — is a no-op.
+func (s *WalkSample) Abort() {
+	if s == nil || s.closed {
+		return
+	}
+	s.Done(0, 0)
+}
+
+// OpenWalks returns the number of StartWalk samples not yet closed by
+// Done or Abort. A quiescent pipeline must report zero; regression
+// tests pin this to catch walk-sample leaks on error paths.
+func (a *Attribution) OpenWalks() int64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.openWalks
 }
 
 // AddPoint charges one simulation point's simulated instructions and
@@ -169,6 +214,23 @@ func (a *Attribution) RecordEval(key string, instructions uint64) {
 	a.mu.Unlock()
 }
 
+// RecordMemo feeds the memoization accounting: hits point evaluations
+// were answered from the content-addressed memo table (instructionsSaved
+// simulated instructions not re-simulated), misses had to simulate.
+// Memoized evaluations never reach RecordEval — the redundancy analyzer
+// measures only work that actually executed, so with memoization on the
+// reported duplicate fraction is the post-memo residue (~0 expected).
+func (a *Attribution) RecordMemo(hits, misses, instructionsSaved uint64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.memoHits += hits
+	a.memoMisses += misses
+	a.memoSavedInstr += instructionsSaved
+	a.mu.Unlock()
+}
+
 // AttribNode is one exported node of the attribution tree.
 type AttribNode struct {
 	Benchmark string `json:"benchmark"`
@@ -191,6 +253,14 @@ type RedundancySummary struct {
 	Duplicates            uint64 `json:"duplicates"`
 	TotalInstructions     uint64 `json:"total_instructions"`
 	DuplicateInstructions uint64 `json:"duplicate_instructions"`
+	// MemoHits/MemoMisses count point evaluations answered from /
+	// missed by the content-addressed memo table; MemoSavedInstructions
+	// is the simulated-instruction volume the hits avoided. Memoized
+	// evaluations are excluded from Evaluations above — the duplicate
+	// fraction always describes work that actually ran.
+	MemoHits              uint64 `json:"memo_hits"`
+	MemoMisses            uint64 `json:"memo_misses"`
+	MemoSavedInstructions uint64 `json:"memo_saved_instructions"`
 }
 
 // DuplicateFraction returns the fraction of evaluations that were
@@ -200,6 +270,16 @@ func (r RedundancySummary) DuplicateFraction() float64 {
 		return 0
 	}
 	return float64(r.Duplicates) / float64(r.Evaluations)
+}
+
+// MemoHitRate returns the fraction of memo lookups that hit (0 when the
+// memo table saw no traffic, e.g. memoization disabled).
+func (r RedundancySummary) MemoHitRate() float64 {
+	total := r.MemoHits + r.MemoMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.MemoHits) / float64(total)
 }
 
 // AttribSnapshot is a point-in-time copy of the attribution state.
@@ -232,6 +312,9 @@ func (a *Attribution) Snapshot() AttribSnapshot {
 		Duplicates:            a.dupEvals,
 		TotalInstructions:     a.evalInstr,
 		DuplicateInstructions: a.dupInstr,
+		MemoHits:              a.memoHits,
+		MemoMisses:            a.memoMisses,
+		MemoSavedInstructions: a.memoSavedInstr,
 	}
 	a.mu.Unlock()
 	sort.Slice(snap.Nodes, func(i, j int) bool {

@@ -534,6 +534,9 @@ func (cp *CrossPoints) ForBinary(b int) (*PointSet, error) {
 	for _, n := range tr.Instructions {
 		total += n
 	}
+	if total == 0 {
+		return nil, fmt.Errorf("xbsim: %s executed no instructions on input %q; cannot recalculate phase weights", bin.Name, cp.input.Name)
+	}
 	weights := make([]float64, cp.pick.K)
 	for iv, phase := range cp.pick.PhaseOf {
 		weights[phase] += float64(tr.Instructions[iv]) / float64(total)
