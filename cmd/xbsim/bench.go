@@ -9,6 +9,7 @@ import (
 
 	"xbsim/internal/bench"
 	"xbsim/internal/experiment"
+	"xbsim/internal/report"
 )
 
 // cmdBench is the performance-regression harness: it runs the suite N
@@ -30,6 +31,8 @@ func cmdBench(ctx context.Context, args []string, w io.Writer) error {
 	wallTol := fs.Float64("tolerance", 0.50, "allowed relative wall-time regression vs the baseline")
 	allocTol := fs.Float64("alloc-tolerance", 0.10, "allowed relative allocation regression vs the baseline")
 	label := fs.String("label", "", "free-form tag recorded into the result")
+	samplers := fs.Bool("samplers", false, "also run the cross-backend sampler comparison and record it into the result")
+	budgets := fs.String("budgets", "8,16", "stratified point budgets for -samplers")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -58,6 +61,22 @@ func cmdBench(ctx context.Context, args []string, w io.Writer) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *samplers {
+		budgetList, err := parseBudgets(*budgets)
+		if err != nil {
+			return err
+		}
+		// The comparison runs outside the timed iterations, so recording
+		// it never perturbs the wall/alloc numbers Compare gates on.
+		cmp, err := experiment.CompareSamplers(ctx, cfg, budgetList)
+		if err != nil {
+			return err
+		}
+		res.Samplers = cmp
+		if err := report.SamplerComparison(w, cmp); err != nil {
+			return err
+		}
 	}
 	if err := res.Write(w); err != nil {
 		return err

@@ -32,6 +32,7 @@ func cmdChaos(ctx context.Context, args []string, w io.Writer) error {
 	interval := fs.Uint64("interval", 8000, "interval size in instructions")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial; never changes the numbers)")
 	inject := fs.String("inject", "", "fixed fault rules stage@index:kind[:duration] instead of random plans")
+	sampler, samplerBudget := samplerFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -55,6 +56,8 @@ func cmdChaos(ctx context.Context, args []string, w io.Writer) error {
 	cfg.Seed = fmt.Sprintf("chaos/%d", *seed)
 	cfg.Retry = experiment.RetryPolicy{MaxRetries: *retries, BaseDelay: 2 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
 	cfg.StageTimeout = *stageTimeout
+	cfg.Sampler = *sampler
+	cfg.SamplerBudget = *samplerBudget
 
 	fmt.Fprintf(w, "chaos: %d programs, seed %d, %d faults per run, %d retries\n",
 		*n, *seed, *nFaults, *retries)

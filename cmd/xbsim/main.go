@@ -298,6 +298,8 @@ func run(ctx context.Context, command string, args []string, w io.Writer) error 
 		return cmdChaos(ctx, args, w)
 	case "bench":
 		return cmdBench(ctx, args, w)
+	case "samplers":
+		return cmdSamplers(ctx, args, w)
 	case "callgraph":
 		return cmdCallgraph(args, w)
 	case "phases":
@@ -349,13 +351,20 @@ commands:
                                      run the suite N times, record wall
                                      time/allocation/per-stage resources,
                                      compare against a baseline JSON
+                                     (-samplers adds the cross-backend
+                                     sampler comparison to the record)
+  samplers [-benchmarks L] [-budgets 8,16] [-json]
+                                     compare sampler backends: CPI error
+                                     vs simulated-instruction budget
   callgraph -bench B [-target T]     annotated call-loop graph
   phases   -bench B [-flavor F]      phase timeline of the execution
   similarity -bench B [-target T]    interval similarity heat map
 
 common flags: -ops N (program scale), -interval N (interval size),
 -seed S (input seed), -workers N (pool size for clustering/pipeline
-work; 0 = GOMAXPROCS, 1 = serial — parallelism never changes results)
+work; 0 = GOMAXPROCS, 1 = serial — parallelism never changes results),
+-sampler B / -sampler-budget N (point-selection backend: simpoint
+(default) or stratified, and the stratified point budget)
 
 global flags (before the command): -v (progress + timing tree),
 -trace-out F (Chrome trace), -metrics-out F (metrics dump),
@@ -375,6 +384,14 @@ func commonFlags(fs *flag.FlagSet) (ops *uint64, interval *uint64, seed *uint64)
 // commands. Parallelism never changes the chosen points, only wall clock.
 func workersFlag(fs *flag.FlagSet) *int {
 	return fs.Int("workers", 0, "clustering worker pool size (0 = GOMAXPROCS, 1 = serial; never changes the numbers)")
+}
+
+// samplerFlags adds the point-selection backend knobs shared by the
+// commands that pick simulation points.
+func samplerFlags(fs *flag.FlagSet) (backend *string, budget *int) {
+	backend = fs.String("sampler", "", "point-selection backend: simpoint (default) or stratified")
+	budget = fs.Int("sampler-budget", 0, "stratified point budget (0 = backend default)")
+	return
 }
 
 func cmdBenchmarks(w io.Writer) error {
@@ -444,6 +461,7 @@ func cmdPoints(ctx context.Context, args []string, w io.Writer) error {
 	out := fs.String("o", "", "write PinPoints-style JSON here (default stdout)")
 	ops, interval, seed := commonFlags(fs)
 	workers := workersFlag(fs)
+	sampler, samplerBudget := samplerFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -456,7 +474,8 @@ func cmdPoints(ctx context.Context, args []string, w io.Writer) error {
 		return err
 	}
 	in := xbsim.Input{Name: "ref", Seed: *seed}
-	cfg := xbsim.PointsConfig{IntervalSize: *interval, Workers: *workers}
+	cfg := xbsim.PointsConfig{IntervalSize: *interval, Workers: *workers,
+		Sampler: *sampler, SamplerBudget: *samplerBudget}
 
 	var ps *xbsim.PointSet
 	switch *flavor {
@@ -529,6 +548,7 @@ func cmdEstimate(ctx context.Context, args []string, w io.Writer) error {
 	flavor := fs.String("flavor", "vli", "fli or vli")
 	ops, interval, seed := commonFlags(fs)
 	workers := workersFlag(fs)
+	sampler, samplerBudget := samplerFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -537,7 +557,8 @@ func cmdEstimate(ctx context.Context, args []string, w io.Writer) error {
 		return err
 	}
 	in := xbsim.Input{Name: "ref", Seed: *seed}
-	cfg := xbsim.PointsConfig{IntervalSize: *interval, Workers: *workers}
+	cfg := xbsim.PointsConfig{IntervalSize: *interval, Workers: *workers,
+		Sampler: *sampler, SamplerBudget: *samplerBudget}
 
 	var cross *xbsim.CrossPoints
 	if *flavor == "vli" {
@@ -586,6 +607,7 @@ func cmdFigures(ctx context.Context, args []string, w io.Writer) error {
 	stageTimeout := fs.Duration("stage-timeout", 0, "per-stage deadline; expiries are retried under -retries (0 = none)")
 	ckptDir := fs.String("checkpoint-dir", "", "persist per-benchmark checkpoints here and resume from validating ones")
 	inject := fs.String("inject", "", "fault rules to inject, comma-separated stage@index:kind[:duration] (testing)")
+	sampler, samplerBudget := samplerFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -597,6 +619,8 @@ func cmdFigures(ctx context.Context, args []string, w io.Writer) error {
 		cfg.Benchmarks = strings.Split(*benchList, ",")
 	}
 	cfg.Workers = *workers
+	cfg.Sampler = *sampler
+	cfg.SamplerBudget = *samplerBudget
 	cfg.Retry = xbsim.RetryPolicy{MaxRetries: *retries}
 	cfg.StageTimeout = *stageTimeout
 	cfg.CheckpointDir = *ckptDir
@@ -861,6 +885,7 @@ func cmdSelfcheck(ctx context.Context, args []string, w io.Writer) error {
 	interval := fs.Uint64("interval", 0, "VLI minimum size in instructions (0 = 8000)")
 	cpiBound := fs.Float64("cpi-bound", 0, "cpi-sanity relative error bound (0 = 2.0, a loose sanity net)")
 	listPrograms := fs.Bool("programs", false, "also list every checked program with its outcome")
+	sampler, samplerBudget := samplerFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -870,6 +895,7 @@ func cmdSelfcheck(ctx context.Context, args []string, w io.Writer) error {
 	rep, err := invariant.Run(ctx, invariant.Config{
 		Programs: *n, Seed: *seed, Workers: *workers,
 		TargetOps: *ops, IntervalSize: *interval, CPIBound: *cpiBound,
+		Sampler: *sampler, SamplerBudget: *samplerBudget,
 	})
 	if err != nil {
 		return err
@@ -949,6 +975,7 @@ func cmdPhases(ctx context.Context, args []string, w io.Writer) error {
 	width := fs.Int("width", 72, "strip width in characters")
 	ops, interval, seed := commonFlags(fs)
 	workers := workersFlag(fs)
+	sampler, samplerBudget := samplerFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -957,7 +984,8 @@ func cmdPhases(ctx context.Context, args []string, w io.Writer) error {
 		return err
 	}
 	in := xbsim.Input{Name: "ref", Seed: *seed}
-	cfg := xbsim.PointsConfig{IntervalSize: *interval, Workers: *workers}
+	cfg := xbsim.PointsConfig{IntervalSize: *interval, Workers: *workers,
+		Sampler: *sampler, SamplerBudget: *samplerBudget}
 	var ps *xbsim.PointSet
 	switch *flavor {
 	case "fli":

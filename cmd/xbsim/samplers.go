@@ -1,0 +1,79 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+
+	"xbsim/internal/experiment"
+	"xbsim/internal/report"
+)
+
+// cmdSamplers runs the cross-backend sampler comparison: the same suite
+// under the simpoint backend and under the stratified backend at each
+// requested budget, reduced to CPI error vs simulated-instruction cost
+// per configuration.
+func cmdSamplers(ctx context.Context, args []string, w io.Writer) error {
+	fs := newFlagSet("samplers")
+	full := fs.Bool("full", false, "use the full benchmark configuration (default: quick five-benchmark suite)")
+	benchList := fs.String("benchmarks", "", "comma-separated benchmark subset")
+	budgets := fs.String("budgets", "8,16", "comma-separated stratified point budgets")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of the ASCII table")
+	ops := fs.Uint64("ops", 0, "override abstract operations per run (0 = configuration default)")
+	interval := fs.Uint64("interval", 0, "override interval size (0 = configuration default)")
+	workers := fs.Int("workers", 0, "intra-benchmark worker pool size (0 = GOMAXPROCS, 1 = serial; never changes the numbers)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	budgetList, err := parseBudgets(*budgets)
+	if err != nil {
+		return err
+	}
+	cfg := experiment.QuickConfig()
+	if *full {
+		cfg = experiment.FullConfig()
+	}
+	if *benchList != "" {
+		cfg.Benchmarks = strings.Split(*benchList, ",")
+	}
+	if *ops != 0 {
+		cfg.TargetOps = *ops
+	}
+	if *interval != 0 {
+		cfg.IntervalSize = *interval
+	}
+	cfg.Workers = *workers
+
+	cmp, err := experiment.CompareSamplers(ctx, cfg, budgetList)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(cmp)
+	}
+	return report.SamplerComparison(w, cmp)
+}
+
+// parseBudgets parses the -budgets list into positive integers.
+func parseBudgets(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		b, err := strconv.Atoi(part)
+		if err != nil || b <= 0 {
+			return nil, usagef("-budgets wants positive integers, got %q", part)
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, usagef("-budgets is empty")
+	}
+	return out, nil
+}

@@ -39,10 +39,27 @@ type goldenFile struct {
 //
 //	go test -run TestGoldenSimulationPoints -update .
 func TestGoldenSimulationPoints(t *testing.T) {
+	goldenPointsTest(t, testPointsConfig(), "")
+}
+
+// TestGoldenStratifiedPoints pins the stratified backend's picks the
+// same way: the pipeline is shared, only point selection differs, so a
+// drifted stratum boundary, budget allocation, or per-segment draw
+// shows up as a diff against testdata/golden/stratified-<name>.json.
+func TestGoldenStratifiedPoints(t *testing.T) {
+	cfg := testPointsConfig()
+	cfg.Sampler = "stratified"
+	goldenPointsTest(t, cfg, "stratified-")
+}
+
+// goldenPointsTest regresses the chosen simulation points for the seed
+// benchmarks under one sampler configuration against
+// testdata/golden/<prefix><name>.json.
+func goldenPointsTest(t *testing.T, cfg PointsConfig, prefix string) {
 	for _, name := range []string{"gcc", "apsi", "applu", "mcf", "swim"} {
 		t.Run(name, func(t *testing.T) {
 			b := testBenchmark(t, name)
-			cross, err := CrossBinaryPoints(b.Binaries, testInput, testPointsConfig())
+			cross, err := CrossBinaryPoints(b.Binaries, testInput, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -64,7 +81,7 @@ func TestGoldenSimulationPoints(t *testing.T) {
 				}
 				got.BinaryFingerprints[bin.Name] = ps.Fingerprint()
 			}
-			fli, err := PerBinaryPoints(b.Binary("32u"), testInput, testPointsConfig())
+			fli, err := PerBinaryPoints(b.Binary("32u"), testInput, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -76,7 +93,7 @@ func TestGoldenSimulationPoints(t *testing.T) {
 				Fingerprint:    fli.Fingerprint(),
 			}
 
-			path := filepath.Join("testdata", "golden", name+".json")
+			path := filepath.Join("testdata", "golden", prefix+name+".json")
 			if *updateGolden {
 				data, err := json.MarshalIndent(&got, "", "  ")
 				if err != nil {

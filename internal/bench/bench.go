@@ -38,7 +38,11 @@ import (
 //	    breakdown + redundancy summary from one extra profiled run).
 //	    Purely additive: schema-1 files load fine and compare on
 //	    wall/alloc only.
-const SchemaVersion = 2
+//	3 — adds the optional "samplers" section (cross-backend sampler
+//	    comparison: CPI error vs simulated-instruction budget per
+//	    backend, from `xbsim bench -samplers`). Purely additive:
+//	    schema-1/2 baselines load and compare unchanged.
+const SchemaVersion = 3
 
 // MinSchemaVersion is the oldest Result layout Load still accepts.
 const MinSchemaVersion = 1
@@ -84,6 +88,11 @@ type Result struct {
 	// Attribution, when present (schema >= 2), is the evaluate-walk cost
 	// breakdown from one extra profiled run; nil in older baselines.
 	Attribution *AttributionRecord `json:"attribution,omitempty"`
+	// Samplers, when present (schema >= 3), is the cross-backend sampler
+	// comparison recorded by `xbsim bench -samplers`; nil otherwise.
+	// Compare ignores it — accuracy tracking is a human/CI-artifact
+	// concern, not a pass/fail gate.
+	Samplers *experiment.SamplerComparison `json:"samplers,omitempty"`
 }
 
 // AttributionRecord captures the evaluate-stage cost attribution of one
@@ -345,6 +354,12 @@ func (r *Result) Write(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "  memo: %d hits, %d misses (%.0f%% hit rate), %d instructions not re-simulated\n",
 			a.Redundancy.MemoHits, a.Redundancy.MemoMisses,
 			a.Redundancy.MemoHitRate()*100, a.Redundancy.MemoSavedInstructions); err != nil {
+			return err
+		}
+	}
+	if s := r.Samplers; s != nil {
+		if _, err := fmt.Fprintf(w, "  samplers: %d backend configuration(s) compared over %d benchmark(s)\n",
+			len(s.Rows), len(s.Benchmarks)); err != nil {
 			return err
 		}
 	}

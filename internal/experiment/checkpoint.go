@@ -11,6 +11,7 @@ import (
 	"xbsim/internal/compiler"
 	"xbsim/internal/fingerprint"
 	"xbsim/internal/mapping"
+	"xbsim/internal/sampler"
 )
 
 // Checkpoint/resume: RunCtx persists each completed benchmark's result
@@ -30,7 +31,10 @@ import (
 // count.
 
 // checkpointVersion gates the file format; bump on incompatible change.
-const checkpointVersion = 1
+// v2: MethodStats gained SimulatedInstructions, which participates in the
+// payload fingerprint — a v1 file would reload with the field zeroed and
+// fingerprint differently than a fresh run.
+const checkpointVersion = 2
 
 // errNoCheckpoint reports an absent (not invalid) checkpoint.
 var errNoCheckpoint = errors.New("no checkpoint")
@@ -82,6 +86,7 @@ type methodCkpt struct {
 	EstCPI            float64   `json:"estCPI"`
 	CPIError          float64   `json:"cpiError"`
 	EstCycles         float64   `json:"estCycles"`
+	SimulatedInstrs   uint64    `json:"simulatedInstructions"`
 }
 
 func methodToCkpt(ms *MethodStats) methodCkpt {
@@ -98,23 +103,25 @@ func methodToCkpt(ms *MethodStats) methodCkpt {
 		EstCPI:            ms.EstCPI,
 		CPIError:          ms.CPIError,
 		EstCycles:         ms.EstCycles,
+		SimulatedInstrs:   ms.SimulatedInstructions,
 	}
 }
 
 func (m *methodCkpt) toStats() MethodStats {
 	return MethodStats{
-		K:                 m.K,
-		NumPoints:         m.NumPoints,
-		NumIntervals:      m.NumIntervals,
-		AvgIntervalInstrs: m.AvgIntervalInstrs,
-		PhaseWeights:      m.PhaseWeights,
-		PhaseTrueCPI:      []float64(m.PhaseTrueCPI),
-		PointCPI:          []float64(m.PointCPI),
-		PointInterval:     m.PointInterval,
-		PhaseOf:           m.PhaseOf,
-		EstCPI:            m.EstCPI,
-		CPIError:          m.CPIError,
-		EstCycles:         m.EstCycles,
+		K:                     m.K,
+		NumPoints:             m.NumPoints,
+		NumIntervals:          m.NumIntervals,
+		AvgIntervalInstrs:     m.AvgIntervalInstrs,
+		PhaseWeights:          m.PhaseWeights,
+		PhaseTrueCPI:          []float64(m.PhaseTrueCPI),
+		PointCPI:              []float64(m.PointCPI),
+		PointInterval:         m.PointInterval,
+		PhaseOf:               m.PhaseOf,
+		EstCPI:                m.EstCPI,
+		CPIError:              m.CPIError,
+		EstCycles:             m.EstCycles,
+		SimulatedInstructions: m.SimulatedInstrs,
 	}
 }
 
@@ -172,6 +179,15 @@ func (c Config) fingerprint() string {
 		h.Int(0)
 	}
 	h.Float64(c.EarlyTolerance)
+	// Sampler knobs join the digest only off the default backend: the
+	// default path's fingerprints stay a pure function of the original
+	// knobs, and SamplerBudget/SamplerStrata — meaningless under SimPoint
+	// — can never invalidate a SimPoint checkpoint.
+	if c.Sampler != "" && c.Sampler != sampler.BackendSimPoint {
+		h.String("sampler=" + c.Sampler)
+		h.Int(c.SamplerBudget)
+		h.Int(c.SamplerStrata)
+	}
 	return h.Sum()
 }
 
@@ -188,6 +204,7 @@ func hashMethod(h *fingerprint.Hasher, ms *MethodStats) {
 	h.Float64(ms.EstCPI)
 	h.Float64(ms.CPIError)
 	h.Float64(ms.EstCycles)
+	h.Uint64(ms.SimulatedInstructions)
 }
 
 // Fingerprint digests the result's reportable fields — exactly the set

@@ -16,6 +16,7 @@ import (
 	"xbsim/internal/mapping"
 	"xbsim/internal/pool"
 	"xbsim/internal/program"
+	"xbsim/internal/sampler"
 )
 
 // Config parameterizes a full evaluation sweep.
@@ -57,6 +58,20 @@ type Config struct {
 	// centroid-closest one, trading a little representativeness for less
 	// fast-forwarding (Perelman et al., PACT 2003).
 	EarlyTolerance float64
+	// Sampler selects the point-selection backend: "simpoint" (default,
+	// empty means simpoint) runs the SimPoint k-means picker unchanged;
+	// "stratified" runs two-phase stratified sampling (see
+	// internal/sampler). The choice flows into the evaluation memo keys
+	// and — for non-default backends — the checkpoint fingerprint, so
+	// results from different backends never cross-contaminate.
+	Sampler string
+	// SamplerBudget is the stratified backend's deep-simulation budget
+	// (total simulation points per clustering run). <= 0 means the
+	// backend default (12). Ignored by the simpoint backend.
+	SamplerBudget int
+	// SamplerStrata caps the stratified backend's stratum count. <= 0
+	// means the backend default (8). Ignored by the simpoint backend.
+	SamplerStrata int
 	// Parallelism caps concurrent benchmark pipelines (default NumCPU).
 	Parallelism int
 	// Workers bounds the intra-benchmark worker pool: per-binary profile
@@ -166,6 +181,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Primary < 0 || c.Primary >= len(compiler.AllTargets) {
 		return c, fmt.Errorf("experiment: primary binary index %d out of range", c.Primary)
+	}
+	if c.Sampler == "" {
+		c.Sampler = sampler.BackendSimPoint
+	}
+	if _, err := sampler.New(c.Sampler); err != nil {
+		return c, fmt.Errorf("experiment: %w", err)
 	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)

@@ -16,6 +16,7 @@ type MethodExport struct {
 	AvgIntervalInstrs float64 `json:"avgIntervalInstrs"`
 	EstCPI            float64 `json:"estCPI"`
 	CPIError          float64 `json:"cpiError"`
+	SimulatedInstrs   uint64  `json:"simulatedInstructions"`
 }
 
 // RunExport is one binary's results.
@@ -59,6 +60,7 @@ type SuiteExport struct {
 	IntervalSize uint64            `json:"intervalSize"`
 	TargetOps    uint64            `json:"targetOps"`
 	MaxK         int               `json:"maxK"`
+	Sampler      string            `json:"sampler"`
 	Benchmarks   []BenchmarkExport `json:"benchmarks"`
 	Failures     []FailureExport   `json:"failures,omitempty"`
 	Figures      []*Figure         `json:"figures"`
@@ -72,6 +74,7 @@ func methodExport(ms *MethodStats) MethodExport {
 		AvgIntervalInstrs: ms.AvgIntervalInstrs,
 		EstCPI:            ms.EstCPI,
 		CPIError:          ms.CPIError,
+		SimulatedInstrs:   ms.SimulatedInstructions,
 	}
 }
 
@@ -81,6 +84,7 @@ func (s *Suite) Export() *SuiteExport {
 		IntervalSize: s.Config.IntervalSize,
 		TargetOps:    s.Config.TargetOps,
 		MaxK:         s.Config.MaxK,
+		Sampler:      s.Config.Sampler,
 		Figures:      s.Figures(),
 	}
 	allPairs := append(append([]Pair{}, SamePlatformPairs...), CrossPlatformPairs...)

@@ -155,10 +155,16 @@ func (m *evalMemo) store(key string, entry *memoEntry) {
 }
 
 // memoKeyBase builds the binary/input/config/warming prefix shared by
-// both boundary-set keys of one evaluateBinary call.
+// both boundary-set keys of one evaluateBinary call. The sampler backend
+// is part of the key: the per-interval deltas themselves are
+// backend-independent, but keeping each backend's entries separate means
+// a mixed-backend process (the sampler-comparison harness) can never
+// serve one backend's walk from state reasoning done for another —
+// isolation is worth more than the marginal extra sharing.
 func memoKeyBase(bin *compiler.Binary, cfg *Config) string {
 	h := fingerprint.New()
 	h.String(bin.Digest())
+	h.String(cfg.Sampler)
 	h.String(cfg.Input.Name)
 	h.Uint64(cfg.Input.Seed)
 	h.String(cfg.Hierarchy.Digest())

@@ -17,6 +17,7 @@ import (
 	"xbsim/internal/pool"
 	"xbsim/internal/profile"
 	"xbsim/internal/program"
+	"xbsim/internal/sampler"
 	"xbsim/internal/simpoint"
 )
 
@@ -54,6 +55,10 @@ type MethodStats struct {
 	CPIError float64
 	// EstCycles is EstCPI times the binary's exact instruction count.
 	EstCycles float64
+	// SimulatedInstructions is the number of instructions simulated in
+	// detail across this method's simulation points — the cost side of
+	// the accuracy-vs-budget tradeoff the sampler backends compete on.
+	SimulatedInstructions uint64
 }
 
 // BinaryRun is everything measured for one binary of a benchmark.
@@ -90,8 +95,8 @@ type BenchmarkResult struct {
 // subcommand draws its random fault plans from this list.
 var PipelineStages = []string{
 	"compile", "profile", "profile.task", "mapping", "vli",
-	"clustering", "clustering.task", "evaluate", "evaluate.task",
-	"evaluate.walk",
+	"clustering", "clustering.task", "sampler.stratify", "sampler.allocate",
+	"evaluate", "evaluate.task", "evaluate.walk",
 }
 
 // RunBenchmark executes the full pipeline for one benchmark.
@@ -267,19 +272,27 @@ func runPipeline(ctx context.Context, name string, gen func() (*program.Program,
 	}
 	o.Counter("pipeline.intervals.vli").Add(uint64(len(vliRes.Ends)))
 
-	// SimPoint: per-binary FLI (independent runs, independently seeded —
-	// exactly what an engineer running SimPoint per binary would do), and
-	// one VLI run on the primary. All len(bins)+1 runs are independent
-	// and fan out together; each PickCtx additionally parallelizes its
-	// own k sweep and k-means restarts on the same shared pool.
+	// Point selection: per-binary FLI (independent runs, independently
+	// seeded — exactly what an engineer running the picker per binary
+	// would do), and one VLI run on the primary. All len(bins)+1 runs are
+	// independent and fan out together; the SimPoint backend additionally
+	// parallelizes its own k sweep and k-means restarts on the same
+	// shared pool, while the stratified backend is serial arithmetic. The
+	// seed strings are backend-independent, so switching backends changes
+	// the algorithm, never the stream naming.
+	smp, err := sampler.New(cfg.Sampler)
+	if err != nil {
+		return nil, err
+	}
 	var fliPicks []*simpoint.Result
 	var vliPick *simpoint.Result
 	err = runStage(ctx, cfg, name, "clustering", func(sctx context.Context) error {
 		o.Report(obs.Event{Benchmark: name, Stage: "clustering"})
-		spCfg := simpoint.Config{
+		spCfg := sampler.Config{
 			MaxK: cfg.MaxK, Dim: cfg.Dim, BICThreshold: cfg.BICThreshold,
 			Restarts: cfg.Restarts, EarlyTolerance: cfg.EarlyTolerance,
-			Pool: cfg.workerPool,
+			Pool:   cfg.workerPool,
+			Budget: cfg.SamplerBudget, Strata: cfg.SamplerStrata,
 		}
 		fliPicks = make([]*simpoint.Result, len(bins))
 		vliPick = nil
@@ -291,17 +304,17 @@ func runPipeline(ctx context.Context, name string, gen func() (*program.Program,
 			if i == len(bins) {
 				pickCfg.Seed = fmt.Sprintf("%s/vli/%s", cfg.Seed, prog.Name)
 				var err error
-				vliPick, err = simpoint.PickCtx(sctx, vliRes.Dataset, pickCfg)
+				vliPick, err = smp.Pick(sctx, vliRes.Dataset, pickCfg)
 				if err != nil {
-					return fmt.Errorf("%s vli simpoint: %w", prog.Name, err)
+					return fmt.Errorf("%s vli %s: %w", prog.Name, smp.Name(), err)
 				}
 				return nil
 			}
 			pickCfg.Seed = fmt.Sprintf("%s/fli/%s", cfg.Seed, bins[i].Name)
 			var err error
-			fliPicks[i], err = simpoint.PickCtx(sctx, fliRes[i].Dataset, pickCfg)
+			fliPicks[i], err = smp.Pick(sctx, fliRes[i].Dataset, pickCfg)
 			if err != nil {
-				return fmt.Errorf("%s fli simpoint: %w", bins[i].Name, err)
+				return fmt.Errorf("%s fli %s: %w", bins[i].Name, smp.Name(), err)
 			}
 			return nil
 		})
@@ -422,7 +435,7 @@ func evaluateBinary(ctx context.Context, cfg Config, bins []*compiler.Binary, bi
 
 	// Walk 4: FLI region simulation (this binary's own points).
 	o.Report(obs.Event{Benchmark: bin.Program.Name, Binary: bin.Name, Stage: "gated simulation"})
-	fliPointCPI, fliPointIv, err := simulatePoints(ctx, cfg, bin, fliPick, "fli", fliKey, fliMemoKey,
+	fliPointCPI, fliPointIv, fliSimInstr, err := simulatePoints(ctx, cfg, bin, fliPick, "fli", fliKey, fliMemoKey,
 		func(sink profile.IntervalSink) exec.Visitor {
 			return profile.NewFLITracker(bin, fli.Ends, sink)
 		})
@@ -432,7 +445,7 @@ func evaluateBinary(ctx context.Context, cfg Config, bins []*compiler.Binary, bi
 	_, wspan := obs.StartSpan(ctx, "stage.weighting")
 	wspan.Annotate(bin.Name)
 	run.FLI, err = buildMethodStats(fliPick, fliSnap, fliPointCPI, fliPointIv,
-		len(fli.Ends), run, nil)
+		len(fli.Ends), run, nil, fliSimInstr)
 	wspan.End()
 	if err != nil {
 		return nil, err
@@ -440,7 +453,7 @@ func evaluateBinary(ctx context.Context, cfg Config, bins []*compiler.Binary, bi
 
 	// Walk 5: VLI region simulation (the shared cross-binary points
 	// located in this binary via translated boundaries).
-	vliPointCPI, vliPointIv, err := simulatePoints(ctx, cfg, bin, vliPick, "vli", vliKey, vliMemoKey,
+	vliPointCPI, vliPointIv, vliSimInstr, err := simulatePoints(ctx, cfg, bin, vliPick, "vli", vliKey, vliMemoKey,
 		func(sink profile.IntervalSink) exec.Visitor {
 			return profile.NewVLITracker(bin, vliEnds, sink)
 		})
@@ -457,7 +470,7 @@ func evaluateBinary(ctx context.Context, cfg Config, bins []*compiler.Binary, bi
 		return nil, fmt.Errorf("%s VLI weights: %w", bin.Name, err)
 	}
 	run.VLI, err = buildMethodStats(vliPick, vliSnap, vliPointCPI, vliPointIv,
-		len(vliEnds), run, vliWeights)
+		len(vliEnds), run, vliWeights, vliSimInstr)
 	wspan.End()
 	if err != nil {
 		return nil, err
@@ -511,7 +524,7 @@ func instrumentPool(p *pool.Pool, o *obs.Observer) {
 // memo.go for the argument). Otherwise the walk simulates as before.
 func simulatePoints(ctx context.Context, cfg Config, bin *compiler.Binary, pick *simpoint.Result,
 	walk string, evalKey func(interval int) string, memoKey string,
-	makeTracker func(profile.IntervalSink) exec.Visitor) (cpi []float64, intervals []int, err error) {
+	makeTracker func(profile.IntervalSink) exec.Visitor) (cpi []float64, intervals []int, simInstr uint64, err error) {
 
 	gctx, gspan := obs.StartSpan(ctx, "stage.gated_sim")
 	gspan.Annotate(bin.Name)
@@ -522,7 +535,7 @@ func simulatePoints(ctx context.Context, cfg Config, bin *compiler.Binary, pick 
 	ws := att.StartWalk(bin.Program.Name, bin.Name, walk)
 	defer ws.Abort() // close the sample on every error path; Done wins
 	if err := faults.Hit(gctx, "evaluate.walk"); err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 
 	cpi = make([]float64, pick.K)
@@ -537,7 +550,7 @@ func simulatePoints(ctx context.Context, cfg Config, bin *compiler.Binary, pick 
 		for _, p := range pick.Points {
 			st := &entry.intervals[p.Interval]
 			if st.instr == 0 {
-				return nil, nil, fmt.Errorf("simulation point interval %d executed nothing in %s",
+				return nil, nil, 0, fmt.Errorf("simulation point interval %d executed nothing in %s",
 					p.Interval, bin.Name)
 			}
 			win.add(st)
@@ -554,7 +567,9 @@ func simulatePoints(ctx context.Context, cfg Config, bin *compiler.Binary, pick 
 		o.Counter("pipeline.memo.instructions_saved").Add(win.instr)
 		o.Counter("pipeline.memo.bytes_saved").Add(cfg.Hierarchy.StateBytes())
 		att.RecordMemo(uint64(len(pick.Points)), 0, win.instr)
-		return cpi, intervals, nil
+		// win.instr is exactly the sum of the chosen intervals' detailed
+		// instruction counts — the same total the executed walk reports.
+		return cpi, intervals, win.instr, nil
 	}
 	if memoKey != "" {
 		// Memo enabled but no usable entry (shouldn't happen with warming
@@ -565,7 +580,7 @@ func simulatePoints(ctx context.Context, cfg Config, bin *compiler.Binary, pick 
 
 	sim, err := cmpsim.NewSimulatorPooled(bin, cfg.Hierarchy, cfg.simPool)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	defer sim.Release()
 	sim.SetFunctionalWarming(!cfg.DisableWarming)
@@ -576,7 +591,7 @@ func simulatePoints(ctx context.Context, cfg Config, bin *compiler.Binary, pick 
 	gate := newGatedSnapshotter(sim, chosen)
 	tracker := makeTracker(gate)
 	if err := exec.RunCtx(gctx, bin, cfg.Input, exec.Multi{sim, tracker}); err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	gate.close()
 	simStats := sim.Stats()
@@ -591,9 +606,10 @@ func simulatePoints(ctx context.Context, cfg Config, bin *compiler.Binary, pick 
 	for _, p := range pick.Points {
 		st := gate.regions[p.Interval]
 		if st.instr == 0 {
-			return nil, nil, fmt.Errorf("simulation point interval %d executed nothing in %s",
+			return nil, nil, 0, fmt.Errorf("simulation point interval %d executed nothing in %s",
 				p.Interval, bin.Name)
 		}
+		simInstr += st.instr
 		cpi[p.Phase] = float64(st.cycles) / float64(st.instr)
 		intervals[p.Phase] = p.Interval
 		att.AddPoint(bin.Program.Name, bin.Name, walk, p.Interval, st.instr, st.cycles)
@@ -601,7 +617,7 @@ func simulatePoints(ctx context.Context, cfg Config, bin *compiler.Binary, pick 
 			att.RecordEval(evalKey(p.Interval), st.instr)
 		}
 	}
-	return cpi, intervals, nil
+	return cpi, intervals, simInstr, nil
 }
 
 // recalcWeights computes per-phase weights from this binary's per-interval
@@ -630,15 +646,16 @@ func recalcWeights(pick *simpoint.Result, snap *snapshotter, total uint64) ([]fl
 // per-binary weights (VLI).
 func buildMethodStats(pick *simpoint.Result, snap *snapshotter,
 	pointCPI []float64, pointIv []int, numIntervals int, run *BinaryRun,
-	weights []float64) (MethodStats, error) {
+	weights []float64, simInstr uint64) (MethodStats, error) {
 
 	ms := MethodStats{
-		K:             pick.K,
-		NumPoints:     len(pick.Points),
-		NumIntervals:  numIntervals,
-		PointCPI:      pointCPI,
-		PointInterval: pointIv,
-		PhaseOf:       append([]int(nil), pick.PhaseOf...),
+		K:                     pick.K,
+		NumPoints:             len(pick.Points),
+		NumIntervals:          numIntervals,
+		PointCPI:              pointCPI,
+		PointInterval:         pointIv,
+		PhaseOf:               append([]int(nil), pick.PhaseOf...),
+		SimulatedInstructions: simInstr,
 	}
 	if numIntervals > 0 {
 		ms.AvgIntervalInstrs = float64(run.TotalInstructions) / float64(numIntervals)

@@ -83,6 +83,47 @@ func FuzzMapping(f *testing.F) {
 	})
 }
 
+// FuzzStratifiedSampler runs the full cross-binary pipeline under the
+// stratified sampler backend on arbitrary spec encodings, with the
+// point budget derived from the spec, and checks the invariants the
+// backend must uphold: boundary translation, weight distribution, and
+// rerun determinism (bit-identical fingerprint for the same inputs).
+func FuzzStratifiedSampler(f *testing.F) {
+	for i := 0; i < 6; i++ {
+		f.Add(program.RandomSpec(3, i).Encode())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := fuzzSpec(data)
+		bench, err := xbsim.NewBenchmarkFromSpec(s)
+		if err != nil {
+			t.Fatalf("spec %+v: %v", s, err)
+		}
+		in := fuzzInput(s)
+		pcfg := xbsim.PointsConfig{
+			IntervalSize: 8000, MaxK: 6, Workers: 1,
+			Sampler:       "stratified",
+			SamplerBudget: 1 + int(s.Variant%9),
+		}
+		cp, err := xbsim.CrossBinaryPoints(bench.Binaries, in, pcfg)
+		if err != nil {
+			t.Fatalf("spec %s: stratified pipeline: %v", s.Name(), err)
+		}
+		if c := checkBoundaryTranslate(cp); !c.OK {
+			t.Fatalf("spec %s: %s: %s", s.Name(), c.Name, c.Detail)
+		}
+		if _, c := checkWeightSum(cp); !c.OK {
+			t.Fatalf("spec %s: %s: %s", s.Name(), c.Name, c.Detail)
+		}
+		cp2, err := xbsim.CrossBinaryPoints(bench.Binaries, in, pcfg)
+		if err != nil {
+			t.Fatalf("spec %s: rerun: %v", s.Name(), err)
+		}
+		if got, want := cp2.Fingerprint(), cp.Fingerprint(); got != want {
+			t.Fatalf("spec %s: rerun fingerprint %s, first run %s", s.Name(), got, want)
+		}
+	})
+}
+
 // FuzzCrossBinaryPoints runs the full cross-binary pipeline on
 // arbitrary spec encodings and checks the boundary-translation and
 // weight-distribution invariants on the result.

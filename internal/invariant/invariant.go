@@ -17,7 +17,15 @@
 //   - worker-invariance: the analysis fingerprint is bit-identical for
 //     every worker-pool size;
 //   - cpi-sanity: sampled CPI estimates are finite, positive, and within
-//     a configured relative bound of full simulation.
+//     a configured relative bound of full simulation;
+//   - budget-monotonicity: for budgeted sampler backends (stratified),
+//     doubling the point budget never makes the mean CPI error
+//     substantially worse (trivially satisfied by simpoint, which has no
+//     budget knob).
+//
+// Every invariant is checked under whichever sampler backend
+// Config.Sampler selects, so the same metamorphic relations gate both
+// the simpoint and the stratified point-selection paths.
 //
 // Where package validate checks one known benchmark the user hands it,
 // this package generates an open-ended population of programs beyond the
@@ -38,6 +46,7 @@ import (
 	"xbsim/internal/obs"
 	"xbsim/internal/pool"
 	"xbsim/internal/program"
+	"xbsim/internal/sampler"
 )
 
 // Invariants lists every checked invariant in report order.
@@ -48,6 +57,7 @@ var Invariants = []string{
 	"order-invariance",
 	"worker-invariance",
 	"cpi-sanity",
+	"budget-monotonicity",
 }
 
 // Config parameterizes a self-check run. The zero value is usable.
@@ -77,6 +87,13 @@ type Config struct {
 	// because all binaries share the same simulation points. Accuracy
 	// on paper-scale workloads is the experiment harness's job.
 	CPIBound float64
+	// Sampler selects the point-selection backend every invariant is
+	// checked under ("" = simpoint). With "stratified" the
+	// budget-monotonicity invariant becomes non-trivial.
+	Sampler string
+	// SamplerBudget is the stratified point budget (0 = backend
+	// default); budget-monotonicity compares it against twice itself.
+	SamplerBudget int
 }
 
 func (c Config) withDefaults() Config {
@@ -283,7 +300,9 @@ func CheckProgram(ctx context.Context, s program.Spec, cfg Config) ProgramResult
 		MaxK:         cfg.MaxK,
 		// The baseline analysis is serial; worker-invariance reruns it
 		// with a pool and demands a bit-identical fingerprint.
-		Workers: 1,
+		Workers:       1,
+		Sampler:       cfg.Sampler,
+		SamplerBudget: cfg.SamplerBudget,
 	}
 	cp, err := xbsim.CrossBinaryPoints(bench.Binaries, in, pcfg)
 	if err != nil {
@@ -298,6 +317,7 @@ func CheckProgram(ctx context.Context, s program.Spec, cfg Config) ProgramResult
 	pr.Checks = append(pr.Checks, checkOrderInvariance(bench.Binaries, in, pcfg, cp, sets))
 	pr.Checks = append(pr.Checks, checkWorkerInvariance(bench.Binaries, in, pcfg, cp))
 	pr.Checks = append(pr.Checks, checkCPISanity(bench.Binaries, in, sets, cfg.CPIBound))
+	pr.Checks = append(pr.Checks, checkBudgetMonotonicity(bench.Binaries, in, pcfg, cfg))
 	return pr
 }
 
@@ -504,6 +524,72 @@ func checkCPISanity(bins []*xbsim.Binary, in xbsim.Input, sets []*xbsim.PointSet
 	}
 	return Check{Name: "cpi-sanity", OK: true, Detail: fmt.Sprintf(
 		"CPI estimates within %.3f of full simulation in all %d binaries (bound %.3f)", worst, len(bins), bound)}
+}
+
+// checkBudgetMonotonicity verifies the budget knob of a budgeted
+// backend behaves like a budget: doubling the stratified point budget
+// must not make the mean CPI error substantially worse. "Substantially"
+// allows a fixed slack — more strata can re-draw every representative,
+// so small per-program wobble is legitimate; what the invariant rules
+// out is a backend whose extra simulation spend systematically buys
+// worse estimates. The simpoint backend has no budget knob, so it
+// satisfies the invariant trivially.
+func checkBudgetMonotonicity(bins []*xbsim.Binary, in xbsim.Input, pcfg xbsim.PointsConfig, cfg Config) Check {
+	if cfg.Sampler == "" || cfg.Sampler == sampler.BackendSimPoint {
+		return Check{Name: "budget-monotonicity", OK: true,
+			Detail: "trivial: the simpoint backend has no budget knob"}
+	}
+	lo := cfg.SamplerBudget
+	if lo <= 0 {
+		lo = 6
+	}
+	hi := 2 * lo
+	// Generous: the generated programs are tiny, so a single re-drawn
+	// representative can move one binary's estimate by a few percent.
+	const slack = 0.25
+	errLo, err := meanCPIError(bins, in, pcfg, lo)
+	if err != nil {
+		return Check{Name: "budget-monotonicity", Detail: fmt.Sprintf("budget %d: %v", lo, err)}
+	}
+	errHi, err := meanCPIError(bins, in, pcfg, hi)
+	if err != nil {
+		return Check{Name: "budget-monotonicity", Detail: fmt.Sprintf("budget %d: %v", hi, err)}
+	}
+	if errHi > errLo+slack {
+		return Check{Name: "budget-monotonicity", Detail: fmt.Sprintf(
+			"mean CPI error %.4f at budget %d vs %.4f at budget %d exceeds slack %.2f",
+			errHi, hi, errLo, lo, slack)}
+	}
+	return Check{Name: "budget-monotonicity", OK: true, Detail: fmt.Sprintf(
+		"mean CPI error %.4f at budget %d, %.4f at budget %d (slack %.2f)",
+		errLo, lo, errHi, hi, slack)}
+}
+
+// meanCPIError runs the cross-binary pipeline at the given sampler
+// budget and returns the mean relative CPI error across binaries.
+func meanCPIError(bins []*xbsim.Binary, in xbsim.Input, pcfg xbsim.PointsConfig, budget int) (float64, error) {
+	pcfg.SamplerBudget = budget
+	cp, err := xbsim.CrossBinaryPoints(bins, in, pcfg)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for b, bin := range bins {
+		ps, err := cp.ForBinary(b)
+		if err != nil {
+			return 0, err
+		}
+		full, err := xbsim.SimulateFull(bin, in, nil)
+		if err != nil {
+			return 0, err
+		}
+		est, err := xbsim.EstimateStats(bin, in, ps, nil)
+		if err != nil {
+			return 0, err
+		}
+		sum += math.Abs(est.CPI-full.CPI()) / full.CPI()
+	}
+	return sum / float64(len(bins)), nil
 }
 
 func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

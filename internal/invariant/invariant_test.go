@@ -42,6 +42,58 @@ func TestRunAllInvariantsGreen(t *testing.T) {
 	}
 }
 
+// TestRunStratifiedInvariantsGreen runs the same population under the
+// stratified backend: every invariant must hold there too, and the
+// budget-monotonicity check must actually engage (not report the
+// simpoint trivial case).
+func TestRunStratifiedInvariantsGreen(t *testing.T) {
+	cfg := small
+	cfg.Programs = 2
+	cfg.Sampler = "stratified"
+	cfg.SamplerBudget = 5
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range rep.Programs {
+		if pr.Err != "" {
+			t.Fatalf("program %d (%s): pipeline failed: %s", pr.Index, pr.Name, pr.Err)
+		}
+		for _, c := range pr.Checks {
+			if !c.OK {
+				t.Errorf("program %d (%s): %s failed: %s", pr.Index, pr.Name, c.Name, c.Detail)
+			}
+			if c.Name == "budget-monotonicity" && strings.Contains(c.Detail, "trivial") {
+				t.Errorf("program %d: budget-monotonicity did not engage under stratified: %s",
+					pr.Index, c.Detail)
+			}
+		}
+	}
+}
+
+// TestCheckProgramEdgeSpecStratified pushes the smallest legal program
+// through the stratified backend: degenerate strata (a handful of
+// intervals, budget larger than the interval count) must still satisfy
+// every invariant.
+func TestCheckProgramEdgeSpecStratified(t *testing.T) {
+	edge := program.Spec{
+		TargetOps: 1,
+		Behaviors: 1,
+		Segments:  1,
+		WSLadder:  []uint64{1 << 10},
+	}
+	cfg := Config{IntervalSize: 2000, MaxK: 2, Sampler: "stratified", SamplerBudget: 64}
+	pr := CheckProgram(context.Background(), edge, cfg)
+	if pr.Err != "" {
+		t.Fatalf("edge spec broke the stratified pipeline: %s", pr.Err)
+	}
+	for _, c := range pr.Checks {
+		if !c.OK {
+			t.Errorf("edge spec (stratified): %s failed: %s", c.Name, c.Detail)
+		}
+	}
+}
+
 func TestRunWorkerCountInvariant(t *testing.T) {
 	cfg1, cfg4 := small, small
 	cfg1.Workers = 1

@@ -273,6 +273,48 @@ func Ablation(w io.Writer, t *experiment.AblationTable) error {
 	return err
 }
 
+// SamplerComparison renders the cross-backend comparison table: one row
+// per (backend, budget) configuration, CPI error against the simulated
+// instruction budget each method paid for it.
+func SamplerComparison(w io.Writer, cmp *experiment.SamplerComparison) error {
+	if cmp == nil || len(cmp.Rows) == 0 {
+		return fmt.Errorf("report: empty sampler comparison")
+	}
+	if _, err := fmt.Fprintf(w, "SAMPLER COMPARISON — CPI error vs simulated-instruction budget (%d benchmark(s))\n",
+		len(cmp.Benchmarks)); err != nil {
+		return err
+	}
+	const rowFmt = "  %-12s %6s %7s | %8s %13s %9s | %8s %13s %9s%s\n"
+	if _, err := fmt.Fprintf(w, rowFmt, "backend", "budget", "points",
+		"FLI err", "FLI sim", "FLI cost",
+		"VLI err", "VLI sim", "VLI cost", ""); err != nil {
+		return err
+	}
+	for _, r := range cmp.Rows {
+		budget := "-"
+		if r.Budget > 0 {
+			budget = fmt.Sprintf("%d", r.Budget)
+		}
+		note := ""
+		if r.Failures > 0 {
+			note = fmt.Sprintf("  (%d failed)", r.Failures)
+		}
+		if _, err := fmt.Fprintf(w, rowFmt, r.Backend, budget,
+			fmt.Sprintf("%d/%d", r.FLIPoints, r.VLIPoints),
+			fmt.Sprintf("%.2f%%", r.FLIMeanCPIError*100),
+			groupThousands(r.FLISimulatedInstructions),
+			fmt.Sprintf("%.2f%%", r.FLISimulatedFraction*100),
+			fmt.Sprintf("%.2f%%", r.VLIMeanCPIError*100),
+			groupThousands(r.VLISimulatedInstructions),
+			fmt.Sprintf("%.2f%%", r.VLISimulatedFraction*100),
+			note); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "  (points are FLI/VLI totals across binaries; cost is simulated instructions over total)")
+	return err
+}
+
 // BenchmarkDetail renders one benchmark's complete results: the
 // per-binary CPI table with both methods, the four speedup pairs, and the
 // cross-binary phase timeline.

@@ -1,0 +1,359 @@
+package sampler
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"xbsim/internal/bbv"
+	"xbsim/internal/faults"
+	"xbsim/internal/obs"
+	"xbsim/internal/simpoint"
+	"xbsim/internal/xrand"
+)
+
+const (
+	defaultBudget = 12
+	defaultStrata = 8
+	// featureDim is the cheap-pass feature dimensionality. Stratification
+	// only needs to tell coarse behavior regimes apart, not resolve fine
+	// phase structure, so it projects far lower than SimPoint's 15 dims.
+	featureDim = 4
+)
+
+// stratifiedSampler implements two-phase stratified sampling (Ekman):
+//
+// Phase 1 (stratify) computes cheap per-interval features — the L1
+// normalized BBVs randomly projected to featureDim dimensions — and
+// greedily splits the interval set into strata at weighted feature
+// medians, always splitting the stratum with the largest weighted
+// within-stratum variance.
+//
+// Phase 2 (allocate) spends a fixed deep-simulation budget across the
+// strata Neyman-style (proportional to W_h·S_h, instruction weight times
+// weighted feature standard deviation), then slices each stratum into
+// that many contiguous segments and draws one representative interval per
+// segment from an indexed xrand stream, weighted by interval length.
+//
+// Each segment becomes one phase of the returned simpoint.Result: the
+// segment's representative is the phase's point, every member interval
+// carries the phase label, and the phase weight is the segment's share of
+// dynamic instructions. K therefore equals the (capped) budget exactly.
+// The whole computation is serial arithmetic on deterministic streams —
+// no pool, no map iteration — so output is bit-identical at any worker
+// count.
+type stratifiedSampler struct{}
+
+func (stratifiedSampler) Name() string { return BackendStratified }
+
+func (stratifiedSampler) Pick(ctx context.Context, ds *bbv.Dataset, cfg Config) (*simpoint.Result, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("sampler: empty dataset")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sampler: %w", err)
+	}
+	total := ds.TotalInstructions()
+	if total == 0 {
+		return nil, fmt.Errorf("sampler: dataset has no instructions")
+	}
+	budget := cfg.Budget
+	if budget <= 0 {
+		budget = defaultBudget
+	}
+	if budget > ds.Len() {
+		budget = ds.Len()
+	}
+	maxStrata := cfg.Strata
+	if maxStrata <= 0 {
+		maxStrata = defaultStrata
+	}
+	if maxStrata > budget {
+		maxStrata = budget
+	}
+
+	o := obs.From(ctx)
+	rng := xrand.New("stratified/" + cfg.Seed)
+
+	// Phase 1: cheap features + stratification.
+	if err := faults.Hit(ctx, "sampler.stratify"); err != nil {
+		return nil, err
+	}
+	_, sspan := obs.StartSpan(ctx, "stage.stratify")
+	sspan.Annotate(cfg.Seed)
+	feats, err := ds.Project(featureDim, rng.Split("features"))
+	if err != nil {
+		sspan.End()
+		return nil, fmt.Errorf("sampler: %w", err)
+	}
+	lengths := ds.Lengths()
+	strata := stratify(feats, lengths, maxStrata)
+	sspan.End()
+	o.Counter("sampler.stratified.runs").Inc()
+	o.Gauge("sampler.stratified.strata").Set(float64(len(strata)))
+
+	// Phase 2: Neyman budget allocation + per-segment draws.
+	if err := faults.Hit(ctx, "sampler.allocate"); err != nil {
+		return nil, err
+	}
+	_, aspan := obs.StartSpan(ctx, "stage.allocate")
+	aspan.Annotate(cfg.Seed)
+	alloc := allocate(strata, budget)
+
+	phaseOf := make([]int, ds.Len())
+	points := make([]simpoint.Point, 0, budget)
+	phaseWeights := make([]float64, 0, budget)
+	phase := 0
+	for si, s := range strata {
+		nh := alloc[si]
+		for j := 0; j < nh; j++ {
+			// Balanced contiguous segments; nh <= len(s.items) (capacity
+			// cap in allocate), so every segment is nonempty.
+			seg := s.items[len(s.items)*j/nh : len(s.items)*(j+1)/nh]
+			var segInstr uint64
+			for _, iv := range seg {
+				phaseOf[iv] = phase
+				segInstr += lengths[iv]
+			}
+			w := float64(segInstr) / float64(total)
+			pick := seg[0]
+			if len(seg) > 1 {
+				segW := make([]float64, len(seg))
+				for k, iv := range seg {
+					segW[k] = float64(lengths[iv])
+				}
+				// Indexed by phase, not drawn from a shared sequence, so a
+				// segment's draw never depends on how many precede it.
+				pick = seg[rng.SplitIndexed("draw", phase).Pick(segW)]
+			}
+			points = append(points, simpoint.Point{
+				Interval:     pick,
+				Phase:        phase,
+				Weight:       w,
+				Instructions: lengths[pick],
+			})
+			phaseWeights = append(phaseWeights, w)
+			phase++
+		}
+	}
+	aspan.End()
+	o.Gauge("sampler.stratified.points").Set(float64(phase))
+
+	return &simpoint.Result{
+		K:            phase,
+		Points:       points,
+		PhaseOf:      phaseOf,
+		PhaseWeights: phaseWeights,
+	}, nil
+}
+
+// stratum is one group of intervals sharing similar cheap features.
+type stratum struct {
+	items    []int     // member interval indices, ascending
+	weight   float64   // total dynamic instructions across members
+	sse      []float64 // per-dimension weighted sum of squared deviations
+	totalSSE float64
+	splitDim int // dimension with the largest splittable SSE, -1 when none
+}
+
+func newStratum(items []int, feats [][]float64, lengths []uint64) *stratum {
+	dims := len(feats[items[0]])
+	s := &stratum{items: items, sse: make([]float64, dims), splitDim: -1}
+	mean := make([]float64, dims)
+	minV := make([]float64, dims)
+	maxV := make([]float64, dims)
+	copy(minV, feats[items[0]])
+	copy(maxV, feats[items[0]])
+	for _, i := range items {
+		w := float64(lengths[i])
+		s.weight += w
+		for d, v := range feats[i] {
+			mean[d] += w * v
+			if v < minV[d] {
+				minV[d] = v
+			}
+			if v > maxV[d] {
+				maxV[d] = v
+			}
+		}
+	}
+	if s.weight <= 0 {
+		return s // unreachable: Project rejects empty intervals
+	}
+	for d := range mean {
+		mean[d] /= s.weight
+	}
+	for _, i := range items {
+		w := float64(lengths[i])
+		for d, v := range feats[i] {
+			dv := v - mean[d]
+			s.sse[d] += w * dv * dv
+		}
+	}
+	for d, v := range s.sse {
+		s.totalSSE += v
+		// Splittable needs genuinely distinct values, not merely SSE > 0:
+		// identical values still yield a tiny positive SSE when the
+		// weighted mean rounds, and splitting such a dimension would
+		// produce an empty side.
+		if minV[d] < maxV[d] && (s.splitDim < 0 || v > s.sse[s.splitDim]) {
+			s.splitDim = d
+		}
+	}
+	return s
+}
+
+// score is the Neyman allocation score W_h·S_h: instruction weight times
+// weighted feature standard deviation.
+func (s *stratum) score() float64 {
+	if s.weight <= 0 || s.totalSSE <= 0 {
+		return 0
+	}
+	return s.weight * math.Sqrt(s.totalSSE/s.weight)
+}
+
+// stratify greedily splits the interval set into at most maxStrata
+// groups: repeatedly take the stratum with the largest weighted SSE (ties
+// broken by earliest member) and split it at the weighted median of its
+// highest-variance feature dimension. Splits are pure arithmetic on
+// deterministic inputs, so the strata are identical on every run. Strata
+// whose members have identical features (SSE 0) are unsplittable and the
+// loop stops early — the all-identical-BBVs degenerate case yields a
+// single stratum. The result is ordered by first member index.
+func stratify(feats [][]float64, lengths []uint64, maxStrata int) []*stratum {
+	all := make([]int, len(feats))
+	for i := range all {
+		all[i] = i
+	}
+	strata := []*stratum{newStratum(all, feats, lengths)}
+	for len(strata) < maxStrata {
+		best := -1
+		for i, s := range strata {
+			if s.splitDim < 0 {
+				continue
+			}
+			if best < 0 || s.totalSSE > strata[best].totalSSE ||
+				(s.totalSSE == strata[best].totalSSE && s.items[0] < strata[best].items[0]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		left, right := split(strata[best], feats, lengths)
+		strata[best] = left
+		strata = append(strata, right)
+	}
+	sort.Slice(strata, func(i, j int) bool { return strata[i].items[0] < strata[j].items[0] })
+	return strata
+}
+
+// split partitions the stratum at the weighted median of its splitDim
+// feature: members at or below the median value go left, the rest right.
+// When every member is at or below (the median equals the maximum) the
+// boundary tightens to strictly-below, which splitDim's min < max
+// guarantee leaves both sides nonempty. Membership order is preserved,
+// so items stay ascending.
+func split(s *stratum, feats [][]float64, lengths []uint64) (left, right *stratum) {
+	d := s.splitDim
+	order := append([]int(nil), s.items...)
+	sort.Slice(order, func(a, b int) bool {
+		va, vb := feats[order[a]][d], feats[order[b]][d]
+		if va != vb {
+			return va < vb
+		}
+		return order[a] < order[b]
+	})
+	median := feats[order[len(order)-1]][d]
+	var acc float64
+	for _, i := range order {
+		acc += float64(lengths[i])
+		if acc >= s.weight/2 {
+			median = feats[i][d]
+			break
+		}
+	}
+	var li, ri []int
+	for _, i := range s.items {
+		if feats[i][d] <= median {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(ri) == 0 {
+		li, ri = nil, nil
+		for _, i := range s.items {
+			if feats[i][d] < median {
+				li = append(li, i)
+			} else {
+				ri = append(ri, i)
+			}
+		}
+	}
+	return newStratum(li, feats, lengths), newStratum(ri, feats, lengths)
+}
+
+// allocate distributes the budget across strata: one point per stratum
+// first (no nonempty stratum is starved below 1), then the remainder
+// Neyman-proportional to each stratum's score via largest-remainder
+// rounding, with per-stratum capacity caps (a stratum cannot absorb more
+// points than it has members). The allocations always sum to exactly the
+// budget: the caller caps the budget at the interval count, so total
+// capacity suffices, and stratify caps the stratum count at the budget.
+func allocate(strata []*stratum, budget int) []int {
+	n := len(strata)
+	alloc := make([]int, n)
+	for i := range alloc {
+		alloc[i] = 1
+	}
+	remaining := budget - n
+	if remaining <= 0 {
+		return alloc
+	}
+
+	scores := make([]float64, n)
+	var totalScore float64
+	for i, s := range strata {
+		scores[i] = s.score()
+		totalScore += scores[i]
+	}
+	if totalScore <= 0 {
+		// Zero variance everywhere: fall back to instruction-weight
+		// proportional allocation.
+		for i, s := range strata {
+			scores[i] = s.weight
+			totalScore += s.weight
+		}
+	}
+
+	rem := make([]float64, n)
+	used := 0
+	for i, s := range strata {
+		quota := float64(remaining) * scores[i] / totalScore
+		extra := int(quota)
+		if room := len(s.items) - 1; extra > room {
+			extra = room
+		}
+		alloc[i] += extra
+		used += extra
+		rem[i] = quota - float64(extra)
+	}
+	for used < remaining {
+		best := -1
+		for i, s := range strata {
+			if alloc[i] >= len(s.items) {
+				continue
+			}
+			if best < 0 || rem[i] > rem[best] {
+				best = i
+			}
+		}
+		// best >= 0 always: total capacity >= budget.
+		alloc[best]++
+		rem[best]--
+		used++
+	}
+	return alloc
+}

@@ -53,6 +53,7 @@ import (
 	"xbsim/internal/profile"
 	"xbsim/internal/program"
 	"xbsim/internal/report"
+	"xbsim/internal/sampler"
 	"xbsim/internal/simpoint"
 	"xbsim/internal/trace"
 	"xbsim/internal/validate"
@@ -275,6 +276,17 @@ type PointsConfig struct {
 	// EarlyTolerance > 0 picks early simulation points: the earliest
 	// interval within (1 + tolerance) of the centroid-closest one.
 	EarlyTolerance float64
+	// Sampler selects the point-selection backend: "" or "simpoint" for
+	// the SimPoint k-means picker, "stratified" for two-phase stratified
+	// sampling (cheap-pass stratification + Neyman-allocated
+	// deep-simulation budget; see internal/sampler).
+	Sampler string
+	// SamplerBudget is the stratified backend's total simulation-point
+	// budget (0 = backend default of 12). Ignored by SimPoint.
+	SamplerBudget int
+	// SamplerStrata caps the stratified backend's stratum count (0 =
+	// backend default of 8). Ignored by SimPoint.
+	SamplerStrata int
 	// Mapping tunes mappable-point discovery (cross-binary only).
 	Mapping MappingOptions
 	// Workers bounds the worker pool used for the clustering sweep and
@@ -293,11 +305,13 @@ func (c PointsConfig) withDefaults() PointsConfig {
 	return c
 }
 
-func (c PointsConfig) simpointConfig(seed string) simpoint.Config {
-	return simpoint.Config{
+func (c PointsConfig) samplerConfig(seed string) sampler.Config {
+	return sampler.Config{
 		MaxK: c.MaxK, Dim: c.Dim, BICThreshold: c.BICThreshold, Seed: seed,
 		EarlyTolerance: c.EarlyTolerance,
 		Pool:           pool.New(c.Workers),
+		Budget:         c.SamplerBudget,
+		Strata:         c.SamplerStrata,
 	}
 }
 
@@ -380,7 +394,11 @@ func PerBinaryPointsCtx(ctx context.Context, bin *Binary, in Input, cfg PointsCo
 	}
 	pspan.End()
 	res := fc.Finish()
-	pick, err := simpoint.PickCtx(ctx, res.Dataset, cfg.simpointConfig(cfg.Seed+"/fli/"+bin.Name))
+	smp, err := sampler.New(cfg.Sampler)
+	if err != nil {
+		return nil, err
+	}
+	pick, err := smp.Pick(ctx, res.Dataset, cfg.samplerConfig(cfg.Seed+"/fli/"+bin.Name))
 	if err != nil {
 		return nil, err
 	}
@@ -450,7 +468,11 @@ func CrossBinaryPointsCtx(ctx context.Context, bins []*Binary, in Input, cfg Poi
 	}
 	vspan.End()
 	res := vc.Finish()
-	pick, err := simpoint.PickCtx(ctx, res.Dataset, cfg.simpointConfig(cfg.Seed+"/vli/"+bins[primary].Program.Name))
+	smp, err := sampler.New(cfg.Sampler)
+	if err != nil {
+		return nil, err
+	}
+	pick, err := smp.Pick(ctx, res.Dataset, cfg.samplerConfig(cfg.Seed+"/vli/"+bins[primary].Program.Name))
 	if err != nil {
 		return nil, err
 	}
