@@ -300,6 +300,8 @@ func run(ctx context.Context, command string, args []string, w io.Writer) error 
 		return cmdBench(ctx, args, w)
 	case "samplers":
 		return cmdSamplers(ctx, args, w)
+	case "serve":
+		return cmdServe(ctx, args, w)
 	case "callgraph":
 		return cmdCallgraph(args, w)
 	case "phases":
@@ -356,6 +358,13 @@ commands:
   samplers [-benchmarks L] [-budgets 8,16] [-json]
                                      compare sampler backends: CPI error
                                      vs simulated-instruction budget
+  serve    -spool DIR [-addr A] [-concurrency N] [-max-pending N]
+                                     run the durable analysis service:
+                                     POST /jobs, crash-safe job journal,
+                                     graceful drain on SIGTERM
+                                     (-loadtest [-jobs N] [-unique K]
+                                     [-clients C] [-o F] measures
+                                     throughput/latency/cache hits)
   callgraph -bench B [-target T]     annotated call-loop graph
   phases   -bench B [-flavor F]      phase timeline of the execution
   similarity -bench B [-target T]    interval similarity heat map

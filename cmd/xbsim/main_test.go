@@ -3,11 +3,11 @@ package main
 import (
 	"context"
 	"errors"
-	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"xbsim/internal/bench"
 	"xbsim/internal/obs"
 	"xbsim/internal/pinpoints"
 )
@@ -375,8 +375,10 @@ func TestCmdFiguresCheckpointResume(t *testing.T) {
 	dir := t.TempDir()
 	args := []string{"-quick", "-benchmarks", "swim", "-json", "-checkpoint-dir", dir}
 	first := runCmd(t, "figures", args...)
-	if _, err := os.Stat(filepath.Join(dir, "swim.ckpt.json")); err != nil {
-		t.Fatalf("checkpoint not written: %v", err)
+	// Checkpoints live in per-config-fingerprint subdirectories.
+	matches, err := filepath.Glob(filepath.Join(dir, "cfg-*", "swim.ckpt.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("checkpoint not written: %v %v", matches, err)
 	}
 	resumed := runCmd(t, "figures", args...)
 	if resumed != first {
@@ -398,5 +400,37 @@ func TestCmdSelfcheckObservability(t *testing.T) {
 	}
 	if snap.Counters["selfcheck.weight-sum.pass"] != 1 {
 		t.Errorf("selfcheck.weight-sum.pass = %d, want 1", snap.Counters["selfcheck.weight-sum.pass"])
+	}
+}
+
+// `serve -loadtest` must run the mixed-stream harness end to end and
+// save an additive bench-schema record with the serve section.
+func TestCmdServeLoadtest(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "serve.json")
+	text := runCmd(t, "serve", "-loadtest", "-jobs", "3", "-unique", "1", "-clients", "2", "-o", out)
+	if !strings.Contains(text, "serve loadtest:") || !strings.Contains(text, "cache hits") {
+		t.Fatalf("loadtest output: %q", text)
+	}
+	res, err := bench.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema != bench.SchemaVersion || res.Serve == nil {
+		t.Fatalf("saved record: schema %d, serve %+v", res.Schema, res.Serve)
+	}
+	if res.Serve.Completed != 3 || res.Serve.CacheHits == 0 {
+		t.Fatalf("serve record: %+v", res.Serve)
+	}
+}
+
+// `serve` without a spool is a usage error, and unknown presets from
+// the HTTP surface never reach the scheduler (covered in internal/serve);
+// here we only pin the CLI-level validation.
+func TestCmdServeUsage(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(), "serve", []string{}, &sb)
+	var ue usageError
+	if !errors.As(err, &ue) {
+		t.Fatalf("serve without -spool: %v", err)
 	}
 }

@@ -42,7 +42,11 @@ import (
 //	    comparison: CPI error vs simulated-instruction budget per
 //	    backend, from `xbsim bench -samplers`). Purely additive:
 //	    schema-1/2 baselines load and compare unchanged.
-const SchemaVersion = 3
+//	4 — adds the optional "serve" section (service load-test record
+//	    from `xbsim serve -loadtest`: throughput, latency quantiles,
+//	    cache-hit rate). Purely additive: older baselines load and
+//	    compare unchanged, and Compare ignores the section.
+const SchemaVersion = 4
 
 // MinSchemaVersion is the oldest Result layout Load still accepts.
 const MinSchemaVersion = 1
@@ -93,6 +97,63 @@ type Result struct {
 	// Compare ignores it — accuracy tracking is a human/CI-artifact
 	// concern, not a pass/fail gate.
 	Samplers *experiment.SamplerComparison `json:"samplers,omitempty"`
+	// Serve, when present (schema >= 4), is the analysis-service
+	// load-test record from `xbsim serve -loadtest`; nil otherwise.
+	// Compare ignores it for the same reason as Samplers.
+	Serve *ServeRecord `json:"serve,omitempty"`
+}
+
+// ServeRecord captures one `xbsim serve -loadtest` run: a mixed
+// fresh/duplicate submission stream against an in-process service,
+// measured end to end over HTTP (submit → result available).
+type ServeRecord struct {
+	// Jobs is the number of submissions issued; Clients the number of
+	// concurrent submitters.
+	Jobs    int `json:"jobs"`
+	Clients int `json:"clients"`
+	// Unique and Duplicates split the stream: duplicates resubmit
+	// already-issued work and should be served from the result cache.
+	Unique     int `json:"unique"`
+	Duplicates int `json:"duplicates"`
+	// Completed counts submissions whose result became available;
+	// Failed counts terminal failures; Rejected counts 429s.
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Rejected  int `json:"rejected"`
+	// CacheHits counts submissions answered from the content-addressed
+	// result cache without running the pipeline.
+	CacheHits int `json:"cache_hits"`
+	// WallUS is the whole load test's wall time in microseconds.
+	WallUS uint64 `json:"wall_us"`
+	// ThroughputJobsPerSec is Completed / wall seconds.
+	ThroughputJobsPerSec float64 `json:"throughput_jobs_per_sec"`
+	// P50US / P99US are submit-to-result latency quantiles in
+	// microseconds across completed submissions.
+	P50US uint64 `json:"p50_us"`
+	P99US uint64 `json:"p99_us"`
+	// CacheHitP50US is the latency median over cache-hit submissions
+	// alone — the "duplicate work is free" number.
+	CacheHitP50US uint64 `json:"cache_hit_p50_us"`
+}
+
+// Write renders the record as a human-readable summary.
+func (s *ServeRecord) Write(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"serve loadtest: %d jobs (%d unique + %d duplicate) over %d client(s) in %.1fms\n"+
+			"  completed %d, failed %d, rejected %d, cache hits %d (%.0f%% of duplicates)\n"+
+			"  throughput %.1f jobs/s, latency p50 %.1fms p99 %.1fms, cache-hit p50 %.2fms\n",
+		s.Jobs, s.Unique, s.Duplicates, s.Clients, float64(s.WallUS)/1000,
+		s.Completed, s.Failed, s.Rejected, s.CacheHits, s.cacheHitRate()*100,
+		s.ThroughputJobsPerSec, float64(s.P50US)/1000, float64(s.P99US)/1000,
+		float64(s.CacheHitP50US)/1000)
+	return err
+}
+
+func (s *ServeRecord) cacheHitRate() float64 {
+	if s.Duplicates == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.Duplicates)
 }
 
 // AttributionRecord captures the evaluate-stage cost attribution of one
@@ -360,6 +421,11 @@ func (r *Result) Write(w io.Writer) error {
 	if s := r.Samplers; s != nil {
 		if _, err := fmt.Fprintf(w, "  samplers: %d backend configuration(s) compared over %d benchmark(s)\n",
 			len(s.Rows), len(s.Benchmarks)); err != nil {
+			return err
+		}
+	}
+	if s := r.Serve; s != nil {
+		if err := s.Write(w); err != nil {
 			return err
 		}
 	}

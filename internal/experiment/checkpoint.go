@@ -191,6 +191,20 @@ func (c Config) fingerprint() string {
 	return h.Sum()
 }
 
+// Fingerprint is the exported form of the configuration digest: defaults
+// are applied first, so two Configs that resolve to the same effective
+// experiment digest identically regardless of which knobs were spelled
+// out. This is the value checkpoint scopes and serve's content-addressed
+// job identities are keyed by. It fails only when the configuration
+// itself is invalid (bad Primary index or unknown sampler backend).
+func (c Config) Fingerprint() (string, error) {
+	c, err := c.withDefaults()
+	if err != nil {
+		return "", err
+	}
+	return c.fingerprint(), nil
+}
+
 func hashMethod(h *fingerprint.Hasher, ms *MethodStats) {
 	h.Int(ms.K)
 	h.Int(ms.NumPoints)
@@ -245,10 +259,25 @@ func (s *Suite) Fingerprint() string {
 	return h.Sum()
 }
 
-// checkpointPath names the benchmark's checkpoint file. Benchmark and
-// spec names are `[a-z0-9-]+`, so they are safe as file names.
-func checkpointPath(dir, name string) string {
-	return filepath.Join(dir, name+".ckpt.json")
+// checkpointScope names the configuration's subdirectory inside a
+// checkpoint dir. Scoping checkpoints per config fingerprint is what
+// makes a CheckpointDir safe to share between concurrent suites: two
+// suites running under different configurations write into disjoint
+// subdirectories, so neither can overwrite (and thereby invalidate) the
+// other's checkpoint for the same benchmark; two suites under the same
+// configuration write byte-identical payloads through atomic renames,
+// which commute. Before this, a shared dir was a ping-pong: each suite's
+// save replaced the other's file with one that fails the other's config
+// validation, silently destroying resumability for both.
+func checkpointScope(dir, cfgFP string) string {
+	return filepath.Join(dir, "cfg-"+cfgFP)
+}
+
+// checkpointPath names the benchmark's checkpoint file inside its
+// config scope. Benchmark and spec names are `[a-z0-9-]+`, so they are
+// safe as file names.
+func checkpointPath(dir, cfgFP, name string) string {
+	return filepath.Join(checkpointScope(dir, cfgFP), name+".ckpt.json")
 }
 
 // saveCheckpoint atomically persists one completed benchmark. The write
@@ -256,7 +285,8 @@ func checkpointPath(dir, name string) string {
 // so a crash mid-write leaves either the old checkpoint or none — never
 // a torn file that parses.
 func saveCheckpoint(dir string, r *BenchmarkResult, cfgFP string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	scope := checkpointScope(dir, cfgFP)
+	if err := os.MkdirAll(scope, 0o755); err != nil {
 		return err
 	}
 	ck := checkpointFile{
@@ -283,7 +313,7 @@ func saveCheckpoint(dir string, r *BenchmarkResult, cfgFP string) error {
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(dir, "."+r.Name+".ckpt-*")
+	tmp, err := os.CreateTemp(scope, "."+r.Name+".ckpt-*")
 	if err != nil {
 		return err
 	}
@@ -293,7 +323,7 @@ func saveCheckpoint(dir string, r *BenchmarkResult, cfgFP string) error {
 		os.Remove(tmp.Name())
 		return errors.Join(werr, cerr)
 	}
-	if err := os.Rename(tmp.Name(), checkpointPath(dir, r.Name)); err != nil {
+	if err := os.Rename(tmp.Name(), checkpointPath(dir, cfgFP, r.Name)); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
@@ -307,7 +337,7 @@ func saveCheckpoint(dir string, r *BenchmarkResult, cfgFP string) error {
 // config mismatch, unparseable JSON, or a payload whose recomputed
 // fingerprint disagrees with the recorded one — i.e. corruption).
 func loadCheckpoint(dir, name, cfgFP string) (*BenchmarkResult, error) {
-	data, err := os.ReadFile(checkpointPath(dir, name))
+	data, err := os.ReadFile(checkpointPath(dir, cfgFP, name))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, errNoCheckpoint
 	}

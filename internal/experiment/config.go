@@ -99,6 +99,14 @@ type Config struct {
 	// resumes where it stopped. Invalid or corrupt checkpoints are
 	// detected by fingerprint mismatch and recomputed.
 	CheckpointDir string
+	// SharedPool, when non-nil, is used as the suite's intra-benchmark
+	// worker pool instead of a fresh pool of Workers goroutines. The
+	// serve scheduler installs one pool shared by every concurrent job so
+	// the whole process, not each suite, is bounded by one worker budget
+	// (the pool's caller-participates token scheme makes cross-suite
+	// sharing deadlock-free). Like Workers, this is a wall-clock knob:
+	// results are bit-identical with or without it.
+	SharedPool *pool.Pool
 	// DisableMemo turns off the content-addressed evaluation memo table
 	// (see internal/experiment/memo.go). Memoization is on by default and
 	// never changes results — a memoized suite is fingerprint-identical

@@ -896,9 +896,68 @@ func RunCtx(ctx context.Context, cfg Config) (*Suite, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg.workerPool = pool.New(cfg.Workers)
+	items := make([]suiteItem, len(cfg.Benchmarks))
+	for i, name := range cfg.Benchmarks {
+		name := name
+		items[i] = suiteItem{name: name, run: func(ctx context.Context, cfg Config) (*BenchmarkResult, error) {
+			return RunBenchmarkCtx(ctx, name, cfg)
+		}}
+	}
+	return runSuite(ctx, cfg, items)
+}
+
+// RunSpecs evaluates a suite of synthesized program specs — the same
+// work RunSpec does one at a time, with RunCtx's suite machinery.
+func RunSpecs(specs []program.Spec, cfg Config) (*Suite, error) {
+	return RunSpecsCtx(context.Background(), specs, cfg)
+}
+
+// RunSpecsCtx runs the full pipeline over a suite of synthesized program
+// specs with all of RunCtx's suite machinery: bounded parallelism over
+// one shared worker pool, graceful degradation into Suite.Failures, and
+// — because spec names are content-derived and filename-safe — the same
+// checkpoint/resume behavior named benchmarks get, so an interrupted
+// spec suite (a killed serve job, say) resumes per spec. The suite's
+// Config.Benchmarks is rewritten to the normalized spec names so
+// reports, exports, and failures identify specs the way benchmarks are
+// identified.
+func RunSpecsCtx(ctx context.Context, specs []program.Spec, cfg Config) (*Suite, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	items := make([]suiteItem, len(specs))
+	names := make([]string, len(specs))
+	for i, spec := range specs {
+		spec := spec.Normalize()
+		names[i] = spec.Name()
+		items[i] = suiteItem{name: spec.Name(), run: func(ctx context.Context, cfg Config) (*BenchmarkResult, error) {
+			return RunSpecCtx(ctx, spec, cfg)
+		}}
+	}
+	cfg.Benchmarks = names
+	return runSuite(ctx, cfg, items)
+}
+
+// suiteItem is one unit of suite work: a stable name (a benchmark name
+// or a spec's content-derived name — used for checkpoints, progress,
+// and failure reporting) plus the pipeline invocation that computes it.
+type suiteItem struct {
+	name string
+	run  func(ctx context.Context, cfg Config) (*BenchmarkResult, error)
+}
+
+// runSuite is the suite body shared by RunCtx and RunSpecsCtx. cfg must
+// already have defaults applied.
+func runSuite(ctx context.Context, cfg Config, items []suiteItem) (*Suite, error) {
 	o := obs.From(ctx)
-	instrumentPool(cfg.workerPool, o)
+	if cfg.SharedPool != nil {
+		// An injected pool is owned (and instrumented) by its installer.
+		cfg.workerPool = cfg.SharedPool
+	} else {
+		cfg.workerPool = pool.New(cfg.Workers)
+		instrumentPool(cfg.workerPool, o)
+	}
 	// One memo table and one simulator state pool serve the whole suite,
 	// so identical evaluation work recurring across benchmarks (duplicate
 	// program specs, repeated configs) is reused and cache-hierarchy
@@ -908,17 +967,18 @@ func RunCtx(ctx context.Context, cfg Config) (*Suite, error) {
 	}
 	cfg.simPool = cmpsim.NewStatePool()
 	cfgFP := cfg.fingerprint()
-	results := make([]*BenchmarkResult, len(cfg.Benchmarks))
-	errs := make([]error, len(cfg.Benchmarks))
+	results := make([]*BenchmarkResult, len(items))
+	errs := make([]error, len(items))
 	sem := make(chan struct{}, cfg.Parallelism)
 	var wg sync.WaitGroup
 	var done atomic.Int64
-	for i, name := range cfg.Benchmarks {
+	for i, it := range items {
 		wg.Add(1)
-		go func(i int, name string) {
+		go func(i int, it suiteItem) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			name := it.name
 			if cfg.CheckpointDir != "" {
 				r, err := loadCheckpoint(cfg.CheckpointDir, name, cfgFP)
 				switch {
@@ -927,7 +987,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Suite, error) {
 					o.Counter("pipeline.checkpoints_loaded").Inc()
 					o.Emit(obs.PipelineEvent{Kind: "checkpoint", Benchmark: name, Detail: "loaded"})
 					o.Report(obs.Event{Benchmark: name, Stage: "resumed from checkpoint",
-						Done: int(done.Add(1)), Total: len(cfg.Benchmarks)})
+						Done: int(done.Add(1)), Total: len(items)})
 					return
 				case !errors.Is(err, errNoCheckpoint):
 					// Corrupt or stale checkpoint: recompute from scratch.
@@ -936,12 +996,12 @@ func RunCtx(ctx context.Context, cfg Config) (*Suite, error) {
 					o.Report(obs.Event{Benchmark: name, Stage: "checkpoint invalid, recomputing"})
 				}
 			}
-			r, err := RunBenchmarkCtx(ctx, name, cfg)
+			r, err := it.run(ctx, cfg)
 			if err != nil {
 				errs[i] = fmt.Errorf("%s: %w", name, err)
 				o.Counter("pipeline.benchmarks_failed").Inc()
 				o.Report(obs.Event{Benchmark: name, Stage: "failed",
-					Done: int(done.Add(1)), Total: len(cfg.Benchmarks)})
+					Done: int(done.Add(1)), Total: len(items)})
 				return
 			}
 			results[i] = r
@@ -956,8 +1016,8 @@ func RunCtx(ctx context.Context, cfg Config) (*Suite, error) {
 				}
 			}
 			o.Report(obs.Event{Benchmark: name, Stage: "done",
-				Done: int(done.Add(1)), Total: len(cfg.Benchmarks)})
-		}(i, name)
+				Done: int(done.Add(1)), Total: len(items)})
+		}(i, it)
 	}
 	wg.Wait()
 	suite := &Suite{Config: cfg}
@@ -969,7 +1029,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Suite, error) {
 	for i, e := range errs {
 		if e != nil {
 			suite.Failures = append(suite.Failures, BenchmarkFailure{
-				Name: cfg.Benchmarks[i], Err: e.Error()})
+				Name: items[i].name, Err: e.Error()})
 		}
 	}
 	// Join every failure (in benchmark order) instead of surfacing only

@@ -6,16 +6,61 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"sync"
 	"time"
 
 	"xbsim/internal/obs"
 )
+
+// Handlers binds an Observer's live state to HTTP endpoints. It exists
+// separately from Server so other servers (xbsim serve) can mount the
+// same telemetry surface on their own mux. Close terminates in-flight
+// streaming responses (/events?stream=1); plain snapshot handlers need
+// no termination.
+type Handlers struct {
+	o    *obs.Observer
+	stop chan struct{}
+	once sync.Once
+}
+
+// NewHandlers wraps the observer (which, like any of its fields, may be
+// nil — endpoints then serve empty views).
+func NewHandlers(o *obs.Observer) *Handlers {
+	return &Handlers{o: o, stop: make(chan struct{})}
+}
+
+// Register mounts every telemetry endpoint except "/" on mux (the
+// index is left to the mux's owner, since a mux accepts only one "/"
+// handler).
+func (h *Handlers) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/metrics", h.handleMetrics)
+	mux.HandleFunc("/progress", h.handleProgress)
+	mux.HandleFunc("/events", h.handleEvents)
+	mux.HandleFunc("/attribution", h.handleAttribution)
+	mux.HandleFunc("/profile", h.handleProfile)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Close terminates in-flight streaming responses. Idempotent.
+func (h *Handlers) Close() {
+	h.once.Do(func() { close(h.stop) })
+}
+
+// Stop exposes the shutdown channel streaming handlers select on, so a
+// host server can pass it to StreamEvents for its own streaming routes.
+func (h *Handlers) Stop() <-chan struct{} { return h.stop }
 
 // Server exposes an Observer's live state over HTTP. Endpoints:
 //
 //	/metrics     Prometheus text exposition of the metrics registry
 //	/progress    JSON: suite progress, per-benchmark state, span tree
 //	/events      JSON: the flight recorder's recent structured events
+//	             (?stream=1 follows live as JSONL until shutdown)
 //	/attribution JSON: the cost-attribution snapshot + redundancy summary
 //	/profile     speedscope-compatible flamegraph of the attribution tree
 //	/debug/pprof the standard runtime profiling endpoints
@@ -23,7 +68,7 @@ import (
 // Handlers snapshot state on every request; the pipeline never blocks
 // on a slow scraper.
 type Server struct {
-	o    *obs.Observer
+	h    *Handlers
 	ln   net.Listener
 	srv  *http.Server
 	done chan struct{}
@@ -38,20 +83,20 @@ func Start(addr string, o *obs.Observer) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{o: o, ln: ln, done: make(chan struct{})}
+	s := &Server{h: NewHandlers(o), ln: ln, done: make(chan struct{})}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/progress", s.handleProgress)
-	mux.HandleFunc("/events", s.handleEvents)
-	mux.HandleFunc("/attribution", s.handleAttribution)
-	mux.HandleFunc("/profile", s.handleProfile)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s.srv = &http.Server{Handler: mux}
+	s.h.Register(mux)
+	// Bounded read-side timeouts keep a stalled or malicious client from
+	// pinning a connection; WriteTimeout stays 0 deliberately because
+	// /events?stream=1 writes for as long as the client follows —
+	// shutdown, not a write deadline, bounds streaming responses.
+	s.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
 	go func() {
 		defer close(s.done)
 		s.srv.Serve(ln)
@@ -67,14 +112,27 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close shuts the server down, waiting briefly for in-flight requests.
-// Safe on nil.
+// Close shuts the server down gracefully: in-flight event streams are
+// terminated first (they would otherwise hold Shutdown open), then
+// http.Server.Shutdown waits briefly for the remaining in-flight
+// requests. Safe on nil.
 func (s *Server) Close() error {
+	return s.Shutdown(context.Background())
+}
+
+// Shutdown is Close with a caller-controlled context: streams stop,
+// then the HTTP server drains until ctx expires (with a 2s internal
+// cap matching the old Close behavior when ctx has no deadline).
+func (s *Server) Shutdown(ctx context.Context) error {
 	if s == nil {
 		return nil
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
+	s.h.Close()
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, 2*time.Second)
+		defer cancel()
+	}
 	err := s.srv.Shutdown(ctx)
 	<-s.done
 	return err
@@ -89,16 +147,16 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte("xbsim telemetry\n\n" +
 		"/metrics      Prometheus exposition\n" +
 		"/progress     suite + per-benchmark progress (JSON)\n" +
-		"/events       flight recorder events (JSON)\n" +
+		"/events       flight recorder events (JSON; ?stream=1 follows as JSONL)\n" +
 		"/attribution  cost attribution + redundancy summary (JSON)\n" +
 		"/profile      speedscope flamegraph of the attribution tree\n" +
 		"/debug/pprof  runtime profiles\n"))
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (h *Handlers) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	var snap obs.Snapshot
-	if s.o != nil {
-		snap = s.o.Metrics.Snapshot()
+	if h.o != nil {
+		snap = h.o.Metrics.Snapshot()
 	}
 	w.Header().Set("Content-Type", PrometheusContentType)
 	WritePrometheus(w, snap)
@@ -115,12 +173,12 @@ type ProgressView struct {
 	Spans []obs.SpanView `json:"spans,omitempty"`
 }
 
-func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+func (h *Handlers) handleProgress(w http.ResponseWriter, _ *http.Request) {
 	var view ProgressView
-	if s.o != nil {
-		view.Done, view.Total = s.o.Events.SuiteProgress()
-		view.Benchmarks = s.o.Events.BenchmarkStates()
-		view.Spans = s.o.Tracer.Spans()
+	if h.o != nil {
+		view.Done, view.Total = h.o.Events.SuiteProgress()
+		view.Benchmarks = h.o.Events.BenchmarkStates()
+		view.Spans = h.o.Tracer.Spans()
 	}
 	writeJSON(w, view)
 }
@@ -133,21 +191,72 @@ type EventsView struct {
 	Events []obs.PipelineEvent `json:"events"`
 }
 
-func (s *Server) handleEvents(w http.ResponseWriter, _ *http.Request) {
+func (h *Handlers) handleEvents(w http.ResponseWriter, r *http.Request) {
+	var rec *obs.Recorder
+	if h.o != nil {
+		rec = h.o.Events
+	}
+	if r.URL.Query().Get("stream") != "" {
+		StreamEvents(w, r, rec, h.stop)
+		return
+	}
 	view := EventsView{Events: []obs.PipelineEvent{}}
-	if s.o != nil && s.o.Events != nil {
-		view.Dropped = s.o.Events.Dropped()
-		view.Events = s.o.Events.Events()
+	if rec != nil {
+		view.Dropped = rec.Dropped()
+		view.Events = rec.Events()
 	}
 	writeJSON(w, view)
 }
 
+// streamPollInterval paces the follow-mode poll of the recorder ring.
+var streamPollInterval = 100 * time.Millisecond
+
+// StreamEvents serves a recorder as a live JSONL stream: every retained
+// event with Seq > after (query parameter, default 0) is written as one
+// JSON line, then the handler follows the ring — polling for new
+// events, flushing each batch — until the client disconnects or stop is
+// closed (server shutdown). The shared streaming core behind both the
+// telemetry server's /events?stream=1 and serve's /jobs/{id}/events.
+func StreamEvents(w http.ResponseWriter, r *http.Request, rec *obs.Recorder, stop <-chan struct{}) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	last, _ := strconv.ParseUint(r.URL.Query().Get("after"), 10, 64)
+
+	ticker := time.NewTicker(streamPollInterval)
+	defer ticker.Stop()
+	for {
+		if rec != nil {
+			for _, ev := range rec.Events() {
+				if ev.Seq <= last {
+					continue
+				}
+				if err := enc.Encode(ev); err != nil {
+					return
+				}
+				last = ev.Seq
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		select {
+		case <-stop:
+			return
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
 // handleAttribution serves the live cost-attribution snapshot. With no
 // attribution profiler attached it serves an empty snapshot, same shape.
-func (s *Server) handleAttribution(w http.ResponseWriter, _ *http.Request) {
+func (h *Handlers) handleAttribution(w http.ResponseWriter, _ *http.Request) {
 	var snap obs.AttribSnapshot
-	if s.o != nil {
-		snap = s.o.Attribution().Snapshot()
+	if h.o != nil {
+		snap = h.o.Attribution().Snapshot()
 	}
 	if snap.Nodes == nil {
 		snap.Nodes = []obs.AttribNode{}
@@ -157,10 +266,10 @@ func (s *Server) handleAttribution(w http.ResponseWriter, _ *http.Request) {
 
 // handleProfile serves the attribution tree as a speedscope-compatible
 // flamegraph JSON, loadable at https://www.speedscope.app.
-func (s *Server) handleProfile(w http.ResponseWriter, _ *http.Request) {
+func (h *Handlers) handleProfile(w http.ResponseWriter, _ *http.Request) {
 	var snap obs.AttribSnapshot
-	if s.o != nil {
-		snap = s.o.Attribution().Snapshot()
+	if h.o != nil {
+		snap = h.o.Attribution().Snapshot()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	obs.WriteSpeedscope(w, snap)

@@ -110,6 +110,52 @@ func TestServerEventsEndpoint(t *testing.T) {
 	}
 }
 
+// An in-flight /events?stream=1 request must deliver events as JSONL
+// while the server runs and terminate cleanly — stream closed, body
+// readable to EOF — when the server shuts down, rather than hanging
+// Shutdown or tearing the connection mid-line.
+func TestServerEventsStreamTerminatesOnShutdown(t *testing.T) {
+	o := obs.New()
+	o.Events = obs.NewRecorder(64)
+	s, err := Start("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Emit(obs.PipelineEvent{Kind: "stage.start", Benchmark: "mcf", Stage: "vli"})
+
+	resp, err := http.Get("http://" + s.Addr() + "/events?stream=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+
+	// Read the first streamed line, then emit another event and read it
+	// too — proving the handler follows the ring, not just snapshots it.
+	dec := json.NewDecoder(resp.Body)
+	var ev obs.PipelineEvent
+	if err := dec.Decode(&ev); err != nil || ev.Kind != "stage.start" {
+		t.Fatalf("first streamed event = %+v, err %v", ev, err)
+	}
+	o.Emit(obs.PipelineEvent{Kind: "stage.end", Benchmark: "mcf", Stage: "vli"})
+	if err := dec.Decode(&ev); err != nil || ev.Kind != "stage.end" {
+		t.Fatalf("second streamed event = %+v, err %v", ev, err)
+	}
+
+	// Close must terminate the stream: the pending read returns EOF and
+	// Close itself returns promptly without a shutdown timeout error.
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	if err := dec.Decode(&ev); err != io.EOF {
+		t.Errorf("read after shutdown = %+v, err %v, want EOF", ev, err)
+	}
+	if err := <-closed; err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
 // The pprof endpoints must be mounted on the telemetry mux.
 func TestServerPprofEndpoints(t *testing.T) {
 	s, _ := startTestServer(t)
