@@ -340,6 +340,10 @@ commands:
                                      firing-gap regularity
   trace    -bench B -target T -o F   record an execution trace
   trace    -info F                   inspect a recorded trace
+  trace    [-url U | -spool D] [-json] JOB-OR-TRACE-ID
+                                     reconstruct a served job's timeline:
+                                     phases (queue-wait, run, resume,
+                                     cache) + merged events and spans
   verify   -bench B                  check the cross-binary invariants
                                      hold for this workload
   selfcheck [-n N] [-seed S] [-workers W]
@@ -797,16 +801,24 @@ func cmdMarkers(args []string, w io.Writer) error {
 	return nil
 }
 
-// cmdTrace records an execution trace to a file, or inspects one.
+// cmdTrace records an execution trace to a file, inspects one, or —
+// given a positional job/trace ID — reconstructs a served job's
+// end-to-end timeline (live via -url, offline via -spool).
 func cmdTrace(args []string, w io.Writer) error {
 	fs := newFlagSet("trace")
 	bench := fs.String("bench", "", "benchmark name")
 	target := fs.String("target", "32u", "binary configuration")
 	out := fs.String("o", "", "output trace file")
 	info := fs.String("info", "", "inspect an existing trace file instead of recording")
+	url := fs.String("url", "", "timeline mode: base URL of a running xbsim serve (e.g. http://127.0.0.1:8080)")
+	spool := fs.String("spool", "", "timeline mode: spool directory, read offline")
+	jsonOut := fs.Bool("json", false, "timeline mode: emit JSON instead of the table")
 	ops, _, seed := commonFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
+	}
+	if fs.NArg() >= 1 {
+		return traceTimeline(fs.Arg(0), *url, *spool, *jsonOut, w)
 	}
 	if *info != "" {
 		f, err := os.Open(*info)

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"xbsim/internal/experiment"
+	"xbsim/internal/jobqueue"
+	"xbsim/internal/obs"
+)
+
+// `xbsim trace <id>` with -spool must reconstruct a finished job's
+// timeline offline — by job ID or trace ID — and -json must round-trip
+// through the timeline schema.
+func TestCmdTraceTimelineFromSpool(t *testing.T) {
+	// Run one tiny job to completion so the spool holds a journal.
+	dir := t.TempDir()
+	cfg := experiment.QuickConfig()
+	cfg.Benchmarks = []string{"mcf"}
+	cfg.TargetOps = 600_000
+	cfg.IntervalSize = 8_000
+	q, err := jobqueue.Open(context.Background(), jobqueue.Options{Dir: dir, Concurrency: 1, Workers: 2, Observer: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := q.SubmitTraced(jobqueue.Request{Benchmarks: []string{"mcf"}, Config: cfg},
+		jobqueue.Submission{TraceID: "t-cli-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		got, err := q.Get(j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State == jobqueue.StateDone {
+			break
+		}
+		if got.State == jobqueue.StateFailed {
+			t.Fatalf("job failed: %s", got.Error)
+		}
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, key := range []string{j.ID, "t-cli-test"} {
+		table := runCmd(t, "trace", "-spool", dir, key)
+		for _, want := range []string{"trace t-cli-test", "job " + j.ID, "queue-wait", "run", "job.done"} {
+			if !strings.Contains(table, want) {
+				t.Fatalf("trace %s table missing %q:\n%s", key, want, table)
+			}
+		}
+	}
+
+	jsonOut := runCmd(t, "trace", "-spool", dir, "-json", j.ID)
+	var tl obs.Timeline
+	if err := json.Unmarshal([]byte(jsonOut), &tl); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, jsonOut)
+	}
+	if tl.TraceID != "t-cli-test" || tl.JobID != j.ID || len(tl.Entries) == 0 {
+		t.Fatalf("timeline JSON = trace %q job %q %d entries", tl.TraceID, tl.JobID, len(tl.Entries))
+	}
+	// Round-trip: re-marshaling the parsed timeline reproduces the bytes.
+	again, err := json.MarshalIndent(&tl, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(again)) != strings.TrimSpace(jsonOut) {
+		t.Fatal("-json output does not round-trip through obs.Timeline")
+	}
+
+	var sb strings.Builder
+	if err := run(context.Background(), "trace", []string{"t-cli-test"}, &sb); err == nil {
+		t.Fatal("timeline mode without -url/-spool accepted")
+	}
+	if err := run(context.Background(), "trace", []string{"-spool", dir, "t-unknown"}, &sb); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+}

@@ -3,6 +3,7 @@ package experiment
 import (
 	"context"
 	"errors"
+	"fmt"
 	"time"
 
 	"xbsim/internal/faults"
@@ -85,6 +86,10 @@ func transientError(err error) bool {
 // stage.start/stage.finish/stage.retry/stage.fail events.
 func runStage(ctx context.Context, cfg Config, bench, stage string, fn func(ctx context.Context) error) error {
 	o := obs.From(ctx)
+	// The submission's correlation ID rides the context from the serving
+	// layer; stamping it here tags stage events even when the recorder is
+	// shared (the CLI path) rather than per-job. Zero-cost when absent.
+	trace := obs.TraceIDFrom(ctx)
 	retry := cfg.Retry.withDefaults()
 	var rng *xrand.Stream
 	for attempt := 0; ; attempt++ {
@@ -93,7 +98,7 @@ func runStage(ctx context.Context, cfg Config, bench, stage string, fn func(ctx 
 		if cfg.StageTimeout > 0 {
 			sctx, cancel = context.WithTimeout(ctx, cfg.StageTimeout)
 		}
-		o.Emit(obs.PipelineEvent{Kind: "stage.start", Benchmark: bench, Stage: stage})
+		o.Emit(obs.PipelineEvent{Kind: "stage.start", Benchmark: bench, Stage: stage, Trace: trace})
 		err := pool.Protect(func() error {
 			if err := faults.Hit(sctx, stage); err != nil {
 				return err
@@ -106,18 +111,25 @@ func runStage(ctx context.Context, cfg Config, bench, stage string, fn func(ctx 
 			cancel()
 		}
 		if err == nil {
-			o.Emit(obs.PipelineEvent{Kind: "stage.finish", Benchmark: bench, Stage: stage})
+			o.Emit(obs.PipelineEvent{Kind: "stage.finish", Benchmark: bench, Stage: stage, Trace: trace})
 			return nil
 		}
 		// Never retry when the caller is gone, out of attempts, or the
 		// failure is deterministic.
 		if ctx.Err() != nil || attempt >= retry.MaxRetries || !transientError(err) {
-			o.Emit(obs.PipelineEvent{Kind: "stage.fail", Benchmark: bench, Stage: stage, Detail: err.Error()})
+			// A panic carries its pool location so the trace timeline shows
+			// exactly where the stage blew up, not just that it failed.
+			var pe *pool.PanicError
+			if errors.As(err, &pe) {
+				o.Emit(obs.PipelineEvent{Kind: "panic", Benchmark: bench, Stage: stage, Trace: trace,
+					Detail: fmt.Sprintf("pool task %d panicked: %v", pe.Index, pe.Value)})
+			}
+			o.Emit(obs.PipelineEvent{Kind: "stage.fail", Benchmark: bench, Stage: stage, Detail: err.Error(), Trace: trace})
 			return err
 		}
 		o.Counter("pipeline.retries").Inc()
 		o.Counter("pipeline.retries." + stage).Inc()
-		o.Emit(obs.PipelineEvent{Kind: "stage.retry", Benchmark: bench, Stage: stage, Detail: err.Error()})
+		o.Emit(obs.PipelineEvent{Kind: "stage.retry", Benchmark: bench, Stage: stage, Detail: err.Error(), Trace: trace})
 		o.Report(obs.Event{Benchmark: bench, Stage: stage + " retry"})
 		if rng == nil {
 			rng = xrand.New(cfg.Seed + "/backoff/" + bench + "/" + stage)

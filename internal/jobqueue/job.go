@@ -143,14 +143,41 @@ type Job struct {
 	// SuiteFingerprint is the completed suite's digest (done jobs only) —
 	// the value the chaos harness compares across crash/resume runs.
 	SuiteFingerprint string `json:"suiteFingerprint,omitempty"`
+	// TraceID is the end-to-end correlation ID minted (or accepted from
+	// the client) at the first admission — the canonical trace every
+	// event, span, and timeline row of this job hangs off. Persisted in
+	// the spool record so it survives crash recovery. It does NOT
+	// participate in the job's content-addressed identity: identity is
+	// what the work is, a trace is who asked for it.
+	TraceID string `json:"traceId,omitempty"`
+	// Tenant labels the submitting tenant for per-tenant accounting
+	// ("default" when the client names none).
+	Tenant string `json:"tenant,omitempty"`
+	// CoalescedTraces are the trace IDs of later submissions that
+	// coalesced onto this job (duplicate in flight) or hit its cached
+	// result — each links back to TraceID as the canonical trace.
+	CoalescedTraces []string `json:"coalescedTraces,omitempty"`
 	// State is the job's current lifecycle state (not serialized; the
 	// spool subdirectory is the authority).
 	State State `json:"-"`
 }
 
-// clone returns a shallow copy — what the queue hands out so callers
-// can't mutate journaled state.
+// clone returns a copy — what the queue hands out so callers can't
+// mutate journaled state (the coalesced-trace slice is copied too).
 func (j *Job) clone() *Job {
 	c := *j
+	c.CoalescedTraces = append([]string(nil), j.CoalescedTraces...)
 	return &c
+}
+
+// Submission carries per-submission metadata that does not participate
+// in the job's content-addressed identity: two submissions of the same
+// work share one job but keep distinct traces.
+type Submission struct {
+	// TraceID correlates this submission end to end; empty mints a fresh
+	// obs.NewTraceID. Client-supplied values are sanitized.
+	TraceID string
+	// Tenant labels the submitter for per-tenant accounting (empty =
+	// "default").
+	Tenant string
 }

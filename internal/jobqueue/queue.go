@@ -47,6 +47,9 @@ type Options struct {
 	// EventsCapacity bounds each job's flight recorder (default
 	// obs.DefaultRecorderCapacity).
 	EventsCapacity int
+	// JournalMaxBytes caps each job's durable event journal before
+	// rotation (default obs.DefaultJournalMaxBytes).
+	JournalMaxBytes int64
 	// Observer receives queue- and pipeline-level metrics (shared
 	// registry across all jobs); may be nil.
 	Observer *obs.Observer
@@ -54,9 +57,11 @@ type Options struct {
 
 // tracked is one job plus its in-process scheduling state.
 type tracked struct {
-	job    *Job
-	events *obs.Recorder      // per-job flight recorder
-	cancel context.CancelFunc // non-nil while running
+	job      *Job
+	events   *obs.Recorder      // per-job flight recorder, journaled to the spool
+	tracer   *obs.Tracer        // per-job stage spans (this process's runs)
+	enqueued time.Time          // when the job last entered pending (queue-wait)
+	cancel   context.CancelFunc // non-nil while running
 }
 
 // Queue is the durable bounded job scheduler. Open recovers journaled
@@ -74,7 +79,8 @@ type Queue struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	jobs     map[string]*tracked
-	pending  []*tracked // FIFO of jobs awaiting a slot
+	traces   map[string]string // trace ID (canonical or coalesced) → job ID
+	pending  []*tracked        // FIFO of jobs awaiting a slot
 	running  int
 	draining bool
 	killed   bool
@@ -113,6 +119,7 @@ func Open(ctx context.Context, opts Options) (*Queue, error) {
 		shared: pool.New(opts.Workers),
 		base:   ctx,
 		jobs:   map[string]*tracked{},
+		traces: map[string]string{},
 	}
 	q.cond = sync.NewCond(&q.mu)
 	if q.o != nil {
@@ -130,8 +137,7 @@ func Open(ctx context.Context, opts Options) (*Queue, error) {
 	}
 	sort.Slice(jobs, func(i, k int) bool { return jobs[i].Submitted.Before(jobs[k].Submitted) })
 	for _, j := range jobs {
-		t := &tracked{job: j, events: obs.NewRecorder(opts.EventsCapacity)}
-		q.jobs[j.ID] = t
+		t := q.track(j)
 		switch j.State {
 		case StateRunning:
 			// In flight when the process died: re-enqueue. The per-job
@@ -141,9 +147,11 @@ func Open(ctx context.Context, opts Options) (*Queue, error) {
 				return nil, err
 			}
 			q.o.Counter("serve.jobs.recovered").Inc()
-			t.events.Record(obs.PipelineEvent{Kind: "job", Detail: "recovered: re-enqueued after crash"})
+			t.events.Record(obs.PipelineEvent{Kind: "job.recover", Detail: "recovered: re-enqueued after crash"})
+			t.enqueued = time.Now()
 			q.pending = append(q.pending, t)
 		case StatePending:
+			t.enqueued = time.Now()
 			q.pending = append(q.pending, t)
 		case StateDone:
 			// A done job without its result file cannot serve cache hits;
@@ -154,10 +162,13 @@ func Open(ctx context.Context, opts Options) (*Queue, error) {
 				if err := sp.Move(j, StateDone, StatePending); err != nil {
 					return nil, err
 				}
+				t.enqueued = time.Now()
 				q.pending = append(q.pending, t)
 			}
 		}
 	}
+	q.o.Gauge("serve.queue.slots").Set(float64(opts.Concurrency))
+	q.o.Gauge("serve.queue.max_pending").Set(float64(opts.MaxPending))
 	q.syncGauges()
 
 	q.wg.Add(opts.Concurrency)
@@ -173,15 +184,40 @@ func Open(ctx context.Context, opts Options) (*Queue, error) {
 // Spool exposes the queue's spool (read-only use: result paths, dirs).
 func (q *Queue) Spool() *Spool { return q.spool }
 
+// track wires a job's in-process state: a private flight recorder
+// stamped with the job's canonical trace and durably journaled to the
+// spool (appending across restarts, so a timeline spans crashes), and a
+// private tracer for this process's stage spans. A journal that fails
+// to open costs durability of the event view, never the job.
+func (q *Queue) track(j *Job) *tracked {
+	t := &tracked{job: j, events: obs.NewRecorder(q.opts.EventsCapacity), tracer: obs.NewTracer()}
+	t.events.SetTrace(j.TraceID)
+	t.events.SetRotationCounter(q.o.Counter("serve.journal.rotations"))
+	if err := t.events.SetOutputPath(q.spool.JournalPath(j.ID), q.opts.JournalMaxBytes); err != nil {
+		q.emitQueue("journal open failed: " + err.Error())
+	}
+	q.jobs[j.ID] = t
+	if j.TraceID != "" {
+		q.traces[j.TraceID] = j.ID
+	}
+	for _, tr := range j.CoalescedTraces {
+		q.traces[tr] = j.ID
+	}
+	return t
+}
+
 // emitQueue records a queue-level event on the shared observer.
 func (q *Queue) emitQueue(detail string) {
 	q.o.Emit(obs.PipelineEvent{Kind: "serve", Detail: detail})
 }
 
-// syncGauges publishes queue depths; callers hold q.mu.
+// syncGauges publishes queue health — depths plus the EWMA-derived
+// Retry-After estimate, so backlog pressure is visible on /metrics
+// before admission starts returning 429s; callers hold q.mu.
 func (q *Queue) syncGauges() {
 	q.o.Gauge("serve.queue.pending").Set(float64(len(q.pending)))
 	q.o.Gauge("serve.queue.running").Set(float64(q.running))
+	q.o.Gauge("serve.queue.retry_after_sec").Set(float64(q.retryAfterLocked()))
 }
 
 // Submit admits a request. The request is validated, canonicalized, and
@@ -195,7 +231,22 @@ func (q *Queue) syncGauges() {
 //   - previously failed: re-enqueued for another attempt.
 //
 // ErrQueueFull (pending depth cap) and ErrDraining reject admission.
+//
+// Submit mints a fresh trace for the submission; SubmitTraced accepts
+// caller-supplied trace correlation metadata.
 func (q *Queue) Submit(req Request) (*Job, bool, error) {
+	return q.SubmitTraced(req, Submission{})
+}
+
+// SubmitTraced is Submit with explicit per-submission metadata: a trace
+// ID (minted when empty) and a tenant label. Neither participates in
+// the job's content-addressed identity. When the submission lands on an
+// existing job (coalesce or cache hit), the incoming trace is linked
+// onto the canonical job — durably, in the spool record — and the
+// canonical job is returned; the caller reads Job.TraceID for the
+// canonical trace.
+func (q *Queue) SubmitTraced(req Request, sub Submission) (*Job, bool, error) {
+	lookup := time.Now()
 	if err := req.Validate(); err != nil {
 		return nil, false, err
 	}
@@ -203,6 +254,14 @@ func (q *Queue) Submit(req Request) (*Job, bool, error) {
 	id, err := req.ID()
 	if err != nil {
 		return nil, false, err
+	}
+	sub.TraceID = obs.SanitizeTraceID(sub.TraceID)
+	if sub.TraceID == "" {
+		sub.TraceID = obs.NewTraceID()
+	}
+	sub.Tenant = obs.SanitizeTraceID(sub.Tenant)
+	if sub.Tenant == "" {
+		sub.Tenant = "default"
 	}
 
 	q.mu.Lock()
@@ -215,23 +274,37 @@ func (q *Queue) Submit(req Request) (*Job, bool, error) {
 		switch t.job.State {
 		case StateDone:
 			q.o.Counter("serve.cache.hits").Inc()
+			q.o.Counter(obs.LabeledName("serve.tenant.submissions", "tenant", sub.Tenant)).Inc()
+			q.o.Histogram("serve.cache_lookup_ms").Observe(uint64(time.Since(lookup).Milliseconds()))
+			q.linkTrace(t, sub.TraceID)
+			t.events.Record(obs.PipelineEvent{Kind: "job.cache", Trace: sub.TraceID,
+				Detail: "cache hit; canonical trace " + t.job.TraceID})
 			return t.job.clone(), true, nil
 		case StatePending, StateRunning:
 			q.o.Counter("serve.cache.coalesced").Inc()
+			q.o.Counter(obs.LabeledName("serve.tenant.submissions", "tenant", sub.Tenant)).Inc()
+			q.linkTrace(t, sub.TraceID)
+			t.events.Record(obs.PipelineEvent{Kind: "job.coalesce", Trace: sub.TraceID,
+				Detail: "coalesced onto in-flight job; canonical trace " + t.job.TraceID})
 			return t.job.clone(), false, nil
 		case StateFailed:
-			// Re-enqueue for another attempt under the same identity.
+			// Re-enqueue for another attempt under the same identity. The
+			// canonical trace stays with the job; the resubmission's trace
+			// is linked.
 			if len(q.pending) >= q.opts.MaxPending {
 				q.o.Counter("serve.rejected").Inc()
 				return nil, false, ErrQueueFull
 			}
 			t.job.State = StatePending
 			t.job.Error = ""
+			q.linkTraceNoJournal(t, sub.TraceID)
 			if err := q.spool.Move(t.job, StateFailed, StatePending); err != nil {
 				return nil, false, err
 			}
 			q.o.Counter("serve.jobs.submitted").Inc()
-			t.events.Record(obs.PipelineEvent{Kind: "job", Detail: "resubmitted after failure"})
+			q.o.Counter(obs.LabeledName("serve.tenant.submissions", "tenant", sub.Tenant)).Inc()
+			t.events.Record(obs.PipelineEvent{Kind: "job.resubmit", Trace: sub.TraceID, Detail: "resubmitted after failure"})
+			t.enqueued = time.Now()
 			q.pending = append(q.pending, t)
 			q.syncGauges()
 			q.cond.Signal()
@@ -242,18 +315,54 @@ func (q *Queue) Submit(req Request) (*Job, bool, error) {
 		q.o.Counter("serve.rejected").Inc()
 		return nil, false, ErrQueueFull
 	}
-	j := &Job{ID: id, Request: req, Submitted: time.Now(), State: StatePending}
+	j := &Job{ID: id, Request: req, Submitted: time.Now(), State: StatePending,
+		TraceID: sub.TraceID, Tenant: sub.Tenant}
 	if err := q.spool.Write(StatePending, j); err != nil {
 		return nil, false, err
 	}
-	t := &tracked{job: j, events: obs.NewRecorder(q.opts.EventsCapacity)}
-	q.jobs[id] = t
+	t := q.track(j)
+	t.enqueued = time.Now()
 	q.pending = append(q.pending, t)
 	q.o.Counter("serve.jobs.submitted").Inc()
-	t.events.Record(obs.PipelineEvent{Kind: "job", Detail: "submitted"})
+	q.o.Counter(obs.LabeledName("serve.tenant.submissions", "tenant", sub.Tenant)).Inc()
+	t.events.Record(obs.PipelineEvent{Kind: "job.submit", Detail: "submitted by " + sub.Tenant})
 	q.syncGauges()
 	q.cond.Signal()
 	return j.clone(), false, nil
+}
+
+// linkTraceNoJournal records a coalesced submission's trace on the
+// canonical job in memory only; callers hold q.mu and are about to
+// journal the job themselves.
+func (q *Queue) linkTraceNoJournal(t *tracked, traceID string) bool {
+	if traceID == "" || traceID == t.job.TraceID {
+		return false
+	}
+	for _, tr := range t.job.CoalescedTraces {
+		if tr == traceID {
+			return false
+		}
+	}
+	// Cap the link list so a hostile client can't grow the spool record
+	// without bound; the event journal still records every submission.
+	if len(t.job.CoalescedTraces) >= 64 {
+		return false
+	}
+	t.job.CoalescedTraces = append(t.job.CoalescedTraces, traceID)
+	q.traces[traceID] = t.job.ID
+	return true
+}
+
+// linkTrace links a coalesced submission's trace onto the canonical job
+// and re-journals the job in its current state so the link survives a
+// restart; callers hold q.mu.
+func (q *Queue) linkTrace(t *tracked, traceID string) {
+	if !q.linkTraceNoJournal(t, traceID) {
+		return
+	}
+	if err := q.spool.Write(t.job.State, t.job); err != nil {
+		q.emitQueue("trace link journal failed: " + err.Error())
+	}
 }
 
 // next blocks until a pending job is available or the queue is
@@ -320,23 +429,36 @@ func (q *Queue) runJob(t *tracked) {
 	j.State = StateRunning
 	j.Started = start
 	j.Attempts++
+	attempts := j.Attempts
+	queueWait := time.Duration(0)
+	if !t.enqueued.IsZero() {
+		queueWait = start.Sub(t.enqueued)
+	}
+	// Journal writes below marshal a mu-consistent clone: Submit may
+	// concurrently link a coalesced trace onto the shared Job under
+	// q.mu, and marshaling the live struct outside the lock would race.
+	snap := j.clone()
 	q.mu.Unlock()
-	if err := q.spool.Move(j, StatePending, StateRunning); err != nil {
+	if err := q.spool.Move(snap, StatePending, StateRunning); err != nil {
 		q.failJob(t, start, fmt.Errorf("journal: %w", err), StatePending)
 		return
 	}
-	t.events.Record(obs.PipelineEvent{Kind: "job", Detail: fmt.Sprintf("started (attempt %d)", j.Attempts)})
+	q.o.Histogram("serve.queue_wait_ms").Observe(uint64(queueWait.Milliseconds()))
+	t.events.Record(obs.PipelineEvent{Kind: "job.start",
+		Detail: fmt.Sprintf("started (attempt %d) after %dms queue wait", attempts, queueWait.Milliseconds())})
 
 	// Per-job observer: the metrics registry is shared queue-wide (the
-	// /metrics view aggregates all jobs), while the flight recorder is
-	// private so /jobs/{id}/events streams only this job's pipeline.
+	// /metrics view aggregates all jobs), while the flight recorder and
+	// tracer are private so /jobs/{id}/events and the timeline carry
+	// only this job's pipeline. The job's canonical trace rides the
+	// context into the experiment layer.
 	var jo *obs.Observer
 	if q.o != nil {
-		jo = &obs.Observer{Metrics: q.o.Metrics, Events: t.events}
+		jo = &obs.Observer{Metrics: q.o.Metrics, Events: t.events, Tracer: t.tracer}
 	} else {
-		jo = &obs.Observer{Events: t.events}
+		jo = &obs.Observer{Events: t.events, Tracer: t.tracer}
 	}
-	jctx, cancel := context.WithCancel(obs.With(q.base, jo))
+	jctx, cancel := context.WithCancel(obs.WithTraceID(obs.With(q.base, jo), j.TraceID))
 	defer cancel()
 	if sec := j.Request.TimeoutSec; sec > 0 {
 		var tcancel context.CancelFunc
@@ -378,12 +500,13 @@ func (q *Queue) runJob(t *tracked) {
 		// checkpointed; re-spool so the next Open resumes from them.
 		q.mu.Lock()
 		j.State = StatePending
+		snap = j.clone()
 		q.mu.Unlock()
-		if merr := q.spool.Move(j, StateRunning, StatePending); merr != nil {
+		if merr := q.spool.Move(snap, StateRunning, StatePending); merr != nil {
 			q.emitQueue("drain re-spool failed: " + merr.Error())
 		}
 		q.o.Counter("serve.jobs.respooled").Inc()
-		t.events.Record(obs.PipelineEvent{Kind: "job", Detail: "interrupted by drain: re-spooled"})
+		t.events.Record(obs.PipelineEvent{Kind: "job.respool", Detail: "interrupted by drain: re-spooled"})
 		return
 	}
 	if err != nil {
@@ -412,13 +535,21 @@ func (q *Queue) runJob(t *tracked) {
 	j.Finished = time.Now()
 	j.SuiteFingerprint = suite.Fingerprint()
 	q.observeDuration(j.Finished.Sub(start))
+	snap = j.clone()
 	q.mu.Unlock()
-	if merr := q.spool.Move(j, StateRunning, StateDone); merr != nil {
+	if merr := q.spool.Move(snap, StateRunning, StateDone); merr != nil {
 		q.emitQueue("done commit failed: " + merr.Error())
 	}
 	q.o.Counter("serve.jobs.completed").Inc()
+	q.o.Counter(obs.LabeledName("serve.tenant.completed", "tenant", snap.Tenant)).Inc()
 	q.o.Histogram("serve.job_duration_ms").Observe(uint64(time.Since(start).Milliseconds()))
-	t.events.Record(obs.PipelineEvent{Kind: "job", Detail: "done: " + j.SuiteFingerprint})
+	// SLO latency histograms: run is this (final) attempt's execution;
+	// submit-to-result is end to end from the first admission — across
+	// crash recovery, it includes the dead process's time, which is
+	// exactly what a waiting client experienced.
+	q.o.Histogram("serve.run_ms").Observe(uint64(snap.Finished.Sub(snap.Started).Milliseconds()))
+	q.o.Histogram("serve.submit_to_result_ms").Observe(uint64(snap.Finished.Sub(snap.Submitted).Milliseconds()))
+	t.events.Record(obs.PipelineEvent{Kind: "job.done", Detail: "done: " + snap.SuiteFingerprint})
 }
 
 // failJob journals a terminal failure from whichever state the job was
@@ -430,12 +561,21 @@ func (q *Queue) failJob(t *tracked, start time.Time, err error, from State) {
 	j.Finished = time.Now()
 	j.Error = err.Error()
 	q.observeDuration(j.Finished.Sub(start))
+	snap := j.clone()
 	q.mu.Unlock()
-	if merr := q.spool.Move(j, from, StateFailed); merr != nil {
+	if merr := q.spool.Move(snap, from, StateFailed); merr != nil {
 		q.emitQueue("fail commit failed: " + merr.Error())
 	}
 	q.o.Counter("serve.jobs.failed").Inc()
-	t.events.Record(obs.PipelineEvent{Kind: "job", Detail: "failed: " + err.Error()})
+	q.o.Counter(obs.LabeledName("serve.tenant.failed", "tenant", snap.Tenant)).Inc()
+	// A panicking pipeline task is worth its own trace-stamped event:
+	// the timeline should show where in the pool the job blew up.
+	var pe *pool.PanicError
+	if errors.As(err, &pe) {
+		t.events.Record(obs.PipelineEvent{Kind: "panic",
+			Detail: fmt.Sprintf("pool task %d panicked: %v", pe.Index, pe.Value)})
+	}
+	t.events.Record(obs.PipelineEvent{Kind: "job.fail", Detail: "failed: " + err.Error()})
 }
 
 // observeDuration updates the EWMA job duration; callers hold q.mu.
@@ -493,6 +633,48 @@ func (q *Queue) Events(id string) (*obs.Recorder, error) {
 		return nil, ErrNotFound
 	}
 	return t.events, nil
+}
+
+// Timeline reconstructs one job's end-to-end view: the durable journal
+// (merged rotated + live generations, so it spans crash recovery) plus
+// this process's stage spans, merged and phase-annotated by
+// obs.BuildTimeline. key is a job ID, the job's canonical trace ID, or
+// any coalesced submission's trace ID. ErrNotFound for unknown keys.
+func (q *Queue) Timeline(key string) (*obs.Timeline, error) {
+	q.mu.Lock()
+	t, ok := q.jobs[key]
+	if !ok {
+		if id, traced := q.traces[key]; traced {
+			t, ok = q.jobs[id]
+		}
+	}
+	if !ok {
+		q.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	job := t.job.clone()
+	q.mu.Unlock()
+
+	t.events.Flush()
+	evs, err := obs.ReadJournal(q.spool.JournalPath(job.ID))
+	if err != nil {
+		q.emitQueue("journal read failed: " + err.Error())
+	}
+	if len(evs) == 0 {
+		// Journal never opened (open failure at track time): the in-memory
+		// ring is the best remaining record.
+		evs = t.events.Events()
+	}
+	return obs.BuildTimeline(obs.TimelineInput{
+		TraceID:   job.TraceID,
+		JobID:     job.ID,
+		Tenant:    job.Tenant,
+		State:     string(job.State),
+		Links:     job.CoalescedTraces,
+		Events:    evs,
+		Spans:     t.tracer.Spans(),
+		SpanEpoch: t.tracer.Epoch(),
+	}), nil
 }
 
 // Result returns the job's stored result bytes — the exact
@@ -561,6 +743,13 @@ func (q *Queue) Stats() Stats {
 func (q *Queue) RetryAfter() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	return q.retryAfterLocked()
+}
+
+// retryAfterLocked computes the Retry-After estimate; callers hold
+// q.mu. The same value feeds the serve.queue.retry_after_sec gauge on
+// every queue transition.
+func (q *Queue) retryAfterLocked() int {
 	avg := q.lastDurMs
 	if avg <= 0 {
 		avg = 2000
@@ -604,7 +793,16 @@ func (q *Queue) Drain(ctx context.Context) error {
 	case <-done:
 		q.mu.Lock()
 		q.stopped = true
+		ts := make([]*tracked, 0, len(q.jobs))
+		for _, t := range q.jobs {
+			ts = append(ts, t)
+		}
 		q.mu.Unlock()
+		// Graceful shutdown closes every job journal; Kill deliberately
+		// does not (a dead process closes nothing).
+		for _, t := range ts {
+			t.events.CloseOutput()
+		}
 		q.emitQueue("drained")
 		return nil
 	case <-ctx.Done():

@@ -25,6 +25,8 @@ import (
 //	<dir>/jobs/failed/<id>.json
 //	<dir>/results/<id>.json
 //	<dir>/ckpt/<id>/...
+//	<dir>/journal/<id>.jsonl        per-job flight-recorder journal
+//	<dir>/journal/<id>.1.jsonl      its rotated predecessor, if any
 type Spool struct {
 	dir string
 }
@@ -55,6 +57,9 @@ func OpenSpool(dir string) (*Spool, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "ckpt"), 0o755); err != nil {
 		return nil, err
 	}
+	if err := os.MkdirAll(filepath.Join(dir, "journal"), 0o755); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -80,6 +85,14 @@ func (s *Spool) CheckpointDir(id string) string {
 // ResultPath names the job's result file.
 func (s *Spool) ResultPath(id string) string {
 	return filepath.Join(s.dir, "results", id+".json")
+}
+
+// JournalPath names the job's durable flight-recorder journal — the
+// JSONL event stream the per-job recorder appends to across process
+// lifetimes, and the timeline reconstructor reads back. Read it with
+// obs.ReadJournal, which merges the rotated generation.
+func (s *Spool) JournalPath(id string) string {
+	return filepath.Join(s.dir, "journal", id+".jsonl")
 }
 
 // jobFingerprint digests the job payload via its canonical JSON form.

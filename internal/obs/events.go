@@ -2,8 +2,13 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 )
@@ -30,6 +35,11 @@ type PipelineEvent struct {
 	Stage     string `json:"stage,omitempty"`
 	// Detail is a free-form annotation (error text, fault kind, ...).
 	Detail string `json:"detail,omitempty"`
+	// Trace is the end-to-end correlation ID the event belongs to. Events
+	// recorded without one inherit the recorder's trace (SetTrace); an
+	// explicit value survives, which is how a coalesced submission's
+	// trace is linked onto the canonical job's event stream.
+	Trace string `json:"trace,omitempty"`
 	// Done and Total, when Total > 0, carry suite-level completion.
 	Done  int `json:"done,omitempty"`
 	Total int `json:"total,omitempty"`
@@ -69,6 +79,21 @@ type Recorder struct {
 	// werr remembers the first JSONL write failure so Flush can report it.
 	werr error
 
+	// trace, when set, stamps every recorded event that lacks one.
+	trace string
+
+	// File-backed rotating sink state (SetOutputPath). When f is non-nil
+	// the recorder owns the file: every event is flushed through to disk
+	// at record time (events are low-rate, and a crash must not lose the
+	// admission record), and once size exceeds maxBytes the file is
+	// atomically renamed to RotatedPath(path) and reopened fresh.
+	f         *os.File
+	path      string
+	maxBytes  int64
+	size      int64
+	rotations uint64
+	rotc      *Counter
+
 	states map[string]BenchmarkState
 	done   int
 	total  int
@@ -102,22 +127,147 @@ func (r *Recorder) SetClock(now func() time.Time) {
 	r.mu.Unlock()
 }
 
+// SetTrace stamps every subsequently recorded event that carries no
+// trace of its own with id — the per-job recorders use this so trace
+// tagging is implicit for all pipeline events.
+func (r *Recorder) SetTrace(id string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.trace = id
+	r.mu.Unlock()
+}
+
+// Trace returns the recorder's stamp trace ID ("" when unset).
+func (r *Recorder) Trace() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.trace
+}
+
 // SetOutput streams every subsequently recorded event to w as one JSON
 // line. Writes happen under the recorder's lock at record time, so the
 // file tails the run live and survives a mid-run crash up to the last
 // event. Pass nil to stop streaming. Call Flush before closing the
-// underlying file.
+// underlying file. Attaching a writer detaches any SetOutputPath file.
 func (r *Recorder) SetOutput(w io.Writer) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.closeFileLocked()
 	if w == nil {
 		r.w = nil
 		return
 	}
 	r.w = bufio.NewWriter(w)
+}
+
+// SetOutputPath attaches a size-capped rotating JSONL file sink: events
+// append to path (created if absent, reopened across restarts so a
+// journal accumulates a job's whole history), each event is flushed to
+// disk as it is recorded, and when the file exceeds maxBytes it is
+// atomically renamed to RotatedPath(path) — replacing any previous
+// rotation — and a fresh file begins. maxBytes <= 0 uses
+// DefaultJournalMaxBytes. The recorder owns the file; detach with
+// CloseOutput (or SetOutput).
+func (r *Recorder) SetOutputPath(path string, maxBytes int64) error {
+	if r == nil {
+		return nil
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultJournalMaxBytes
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closeFileLocked()
+	r.f = f
+	r.path = path
+	r.maxBytes = maxBytes
+	r.size = st.Size()
+	r.w = bufio.NewWriter(f)
+	return nil
+}
+
+// SetRotationCounter wires a counter incremented on every journal
+// rotation (nil detaches).
+func (r *Recorder) SetRotationCounter(c *Counter) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.rotc = c
+	r.mu.Unlock()
+}
+
+// Rotations returns how many times the file sink has rotated.
+func (r *Recorder) Rotations() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rotations
+}
+
+// CloseOutput flushes and closes the SetOutputPath file (a no-op for
+// plain SetOutput writers, which the caller owns), returning the first
+// write error seen.
+func (r *Recorder) CloseOutput() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.w != nil && r.f != nil {
+		if err := r.w.Flush(); err != nil && r.werr == nil {
+			r.werr = err
+		}
+		r.w = nil
+	}
+	r.closeFileLocked()
+	return r.werr
+}
+
+// closeFileLocked closes the owned file sink, if any; callers hold r.mu.
+func (r *Recorder) closeFileLocked() {
+	if r.f == nil {
+		return
+	}
+	if err := r.f.Close(); err != nil && r.werr == nil {
+		r.werr = err
+	}
+	r.f = nil
+	r.path = ""
+	r.size = 0
+}
+
+// DefaultJournalMaxBytes caps a rotating journal file before rotation:
+// generous for per-job event streams (hundreds of runs' worth of stage
+// events), small enough that two of them per job stay irrelevant on
+// disk.
+const DefaultJournalMaxBytes = 1 << 20
+
+// RotatedPath names the rotation target for a journal path: the ".1"
+// generation inserted before the extension ("journal.jsonl" →
+// "journal.1.jsonl").
+func RotatedPath(path string) string {
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + ".1" + ext
 }
 
 // Flush flushes the JSONL sink and returns the first write error seen.
@@ -148,6 +298,9 @@ func (r *Recorder) Record(ev PipelineEvent) {
 	r.seq++
 	ev.Seq = r.seq
 	ev.Time = r.now()
+	if ev.Trace == "" {
+		ev.Trace = r.trace
+	}
 
 	if r.n == len(r.buf) {
 		r.start = (r.start + 1) % len(r.buf)
@@ -172,10 +325,43 @@ func (r *Recorder) Record(ev PipelineEvent) {
 			line = append(line, '\n')
 			_, err = r.w.Write(line)
 		}
+		if err == nil && r.f != nil {
+			// File-backed journal: flush through so a crash keeps every
+			// recorded event, then rotate at the line boundary if the cap
+			// is exceeded (soft by at most one line).
+			err = r.w.Flush()
+			r.size += int64(len(line))
+			if err == nil && r.size > r.maxBytes {
+				err = r.rotateLocked()
+			}
+		}
 		if err != nil && r.werr == nil {
 			r.werr = err
 		}
 	}
+}
+
+// rotateLocked renames the journal to its ".1" generation and starts a
+// fresh file; callers hold r.mu.
+func (r *Recorder) rotateLocked() error {
+	if err := r.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(r.path, RotatedPath(r.path)); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(r.path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		r.f = nil
+		r.w = nil
+		return err
+	}
+	r.f = f
+	r.w = bufio.NewWriter(f)
+	r.size = 0
+	r.rotations++
+	r.rotc.Inc()
+	return nil
 }
 
 // Events returns the buffered events oldest-first. A nil recorder
@@ -238,19 +424,49 @@ func (r *Recorder) SuiteProgress() (done, total int) {
 	return r.done, r.total
 }
 
-// ReadEvents decodes a JSONL event stream (as written via SetOutput)
-// back into events — the round-trip inverse of the recorder's sink.
+// ReadEvents decodes a JSONL event stream (as written via SetOutput or
+// SetOutputPath) back into events — the round-trip inverse of the
+// recorder's sink. Lines that fail to parse are skipped rather than
+// fatal: a crash or a rotation observed mid-stream can tear a line, and
+// the torn line must cost only itself, never the rest of the journal.
 func ReadEvents(rd io.Reader) ([]PipelineEvent, error) {
-	dec := json.NewDecoder(rd)
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	var out []PipelineEvent
-	for {
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
 		var ev PipelineEvent
-		if err := dec.Decode(&ev); err != nil {
-			if err == io.EOF {
-				return out, nil
-			}
-			return out, err
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue
 		}
 		out = append(out, ev)
 	}
+	return out, sc.Err()
+}
+
+// ReadJournal reads a rotating journal's events in order: the rotated
+// ".1" generation first (if present), then the live file. Missing files
+// are empty, not errors — a journal that never rotated, or never
+// existed, reads as what it holds.
+func ReadJournal(path string) ([]PipelineEvent, error) {
+	var out []PipelineEvent
+	for _, p := range []string{RotatedPath(path), path} {
+		f, err := os.Open(p)
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return out, err
+		}
+		evs, rerr := ReadEvents(f)
+		f.Close()
+		out = append(out, evs...)
+		if rerr != nil {
+			return out, rerr
+		}
+	}
+	return out, nil
 }

@@ -129,6 +129,46 @@ func (s HistogramSnapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
+// QuantileBucket returns the index of the power-of-two bucket holding
+// the q-quantile observation (nearest-rank over bucket counts), -1 when
+// the histogram is empty. Because buckets are log2-spaced, "within one
+// power-of-two bucket" comparisons — e.g. a load test's client-observed
+// p50 against the live histogram's — are index arithmetic.
+func (s HistogramSnapshot) QuantileBucket(q float64) int {
+	if s.Count == 0 {
+		return -1
+	}
+	rank := uint64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			return i
+		}
+	}
+	return histBuckets - 1
+}
+
+// QuantileBound returns the inclusive upper bound of the q-quantile's
+// bucket (2^i - 1 for bucket i, 0 for the zeros bucket and for an empty
+// histogram).
+func (s HistogramSnapshot) QuantileBound(q float64) uint64 {
+	i := s.QuantileBucket(q)
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
 // MaxBound returns an upper bound (exclusive) on the largest observation:
 // 2^i for the highest non-empty bucket i, 0 when empty.
 func (s HistogramSnapshot) MaxBound() uint64 {

@@ -32,6 +32,17 @@ func NewTracerWithClock(now func() time.Time) *Tracer {
 	return &Tracer{now: now, epoch: now()}
 }
 
+// Epoch returns the tracer's time origin — SpanView.Start values are
+// offsets from it, so epoch + Start is a span's absolute wall-clock
+// start (the timeline reconstructor's conversion). A nil tracer returns
+// the zero time.
+func (t *Tracer) Epoch() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.epoch
+}
+
 // Span is one timed region of the pipeline. End it exactly once; a nil
 // *Span ignores all calls.
 type Span struct {

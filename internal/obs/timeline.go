@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Timeline reconstruction: given one job's durable flight-recorder
+// journal (spool state transitions and pipeline events, possibly
+// spanning a crash and recovery) plus the current run's stage spans,
+// BuildTimeline merges everything into one time-ordered view and
+// derives the coarse phases an operator asks about first: how long the
+// job waited for a slot, how long it ran, where a checkpoint resume or
+// a cache lookup short-circuited work. The package deliberately takes
+// plain inputs — obs sits below jobqueue, so the queue adapts its state
+// into a TimelineInput rather than the other way around.
+
+// TimelineInput is everything BuildTimeline merges.
+type TimelineInput struct {
+	// TraceID is the job's canonical trace; JobID, Tenant, State, and
+	// Links annotate the view (Links are coalesced submissions' traces).
+	TraceID string
+	JobID   string
+	Tenant  string
+	State   string
+	Links   []string
+	// Events is the job's event history, journal order (merged rotated +
+	// live generations; Seq may restart across process lifetimes, so
+	// ordering is by Time first).
+	Events []PipelineEvent
+	// Spans are the current run's stage spans; SpanEpoch is their
+	// tracer's time origin (SpanView.Start offsets are relative to it).
+	Spans     []SpanView
+	SpanEpoch time.Time
+}
+
+// TimelineEntry is one merged, time-ordered timeline row.
+type TimelineEntry struct {
+	Time time.Time `json:"time"`
+	// Source is "event" (flight recorder) or "span" (tracer).
+	Source string `json:"source"`
+	// Kind is the event kind, or "span" for tracer rows.
+	Kind      string `json:"kind"`
+	Benchmark string `json:"benchmark,omitempty"`
+	Stage     string `json:"stage,omitempty"`
+	Detail    string `json:"detail,omitempty"`
+	// DurUS is the span duration (span rows only).
+	DurUS int64 `json:"durUs,omitempty"`
+	// Trace is the row's correlation ID (a coalesced submission's rows
+	// carry its own trace, linking back to the canonical one).
+	Trace string `json:"trace,omitempty"`
+	// Seq is the flight recorder's sequence number (event rows only; it
+	// restarts across process lifetimes).
+	Seq uint64 `json:"seq,omitempty"`
+}
+
+// TimelinePhase is one derived coarse phase of the job's life.
+type TimelinePhase struct {
+	// Name is "queue-wait", "run", "checkpoint-resume", or
+	// "cache-lookup".
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	// DurUS is the phase length; instantaneous markers
+	// (checkpoint-resume, cache-lookup) report 0.
+	DurUS  int64  `json:"durUs"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Timeline is one job's reconstructed end-to-end view.
+type Timeline struct {
+	TraceID string          `json:"traceId"`
+	JobID   string          `json:"jobId,omitempty"`
+	Tenant  string          `json:"tenant,omitempty"`
+	State   string          `json:"state,omitempty"`
+	Links   []string        `json:"links,omitempty"`
+	Entries []TimelineEntry `json:"entries"`
+	Phases  []TimelinePhase `json:"phases"`
+}
+
+// BuildTimeline merges events and spans into one ordered timeline and
+// derives phases from the job lifecycle events:
+//
+//   - queue-wait: each enqueue (job.submit, job.resubmit, job.recover)
+//     to the following job.start — a recovered job's wait is measured
+//     from the recovery transition, not the original admission.
+//   - run: each job.start to its terminal job.done / job.fail /
+//     job.respool (an attempt interrupted by drain).
+//   - checkpoint-resume: every checkpoint event whose Detail is
+//     "loaded" — a benchmark answered from a previous attempt's state.
+//   - cache-lookup: every job.cache event — a submission answered from
+//     the content-addressed result cache without running.
+func BuildTimeline(in TimelineInput) *Timeline {
+	tl := &Timeline{
+		TraceID: in.TraceID,
+		JobID:   in.JobID,
+		Tenant:  in.Tenant,
+		State:   in.State,
+		Links:   append([]string(nil), in.Links...),
+	}
+
+	tl.Entries = make([]TimelineEntry, 0, len(in.Events)+len(in.Spans))
+	for _, ev := range in.Events {
+		tl.Entries = append(tl.Entries, TimelineEntry{
+			Time: ev.Time, Source: "event", Kind: ev.Kind,
+			Benchmark: ev.Benchmark, Stage: ev.Stage, Detail: ev.Detail,
+			Trace: ev.Trace, Seq: ev.Seq,
+		})
+	}
+	for _, s := range in.Spans {
+		tl.Entries = append(tl.Entries, TimelineEntry{
+			Time: in.SpanEpoch.Add(s.Start), Source: "span", Kind: "span",
+			Stage: s.Name, Detail: s.Detail, DurUS: s.Dur.Microseconds(),
+			Trace: in.TraceID,
+		})
+	}
+	sort.SliceStable(tl.Entries, func(i, k int) bool {
+		if !tl.Entries[i].Time.Equal(tl.Entries[k].Time) {
+			return tl.Entries[i].Time.Before(tl.Entries[k].Time)
+		}
+		return tl.Entries[i].Seq < tl.Entries[k].Seq
+	})
+
+	// Phase derivation walks the event stream in journal order (Seq ties
+	// broken by time), which is also how the events were recorded.
+	var waitStart, runStart time.Time
+	attempt := 0
+	for _, ev := range in.Events {
+		switch ev.Kind {
+		case "job.submit", "job.resubmit", "job.recover":
+			waitStart = ev.Time
+		case "job.start":
+			if !waitStart.IsZero() {
+				tl.Phases = append(tl.Phases, TimelinePhase{
+					Name: "queue-wait", Start: waitStart,
+					DurUS: ev.Time.Sub(waitStart).Microseconds(),
+				})
+				waitStart = time.Time{}
+			}
+			runStart = ev.Time
+			attempt++
+		case "job.done", "job.fail", "job.respool":
+			if !runStart.IsZero() {
+				tl.Phases = append(tl.Phases, TimelinePhase{
+					Name: "run", Start: runStart,
+					DurUS:  ev.Time.Sub(runStart).Microseconds(),
+					Detail: fmt.Sprintf("attempt %d: %s", attempt, strings.TrimPrefix(ev.Kind, "job.")),
+				})
+				runStart = time.Time{}
+			}
+		case "checkpoint":
+			if ev.Detail == "loaded" {
+				tl.Phases = append(tl.Phases, TimelinePhase{
+					Name: "checkpoint-resume", Start: ev.Time, Detail: ev.Benchmark,
+				})
+			}
+		case "job.cache":
+			tl.Phases = append(tl.Phases, TimelinePhase{
+				Name: "cache-lookup", Start: ev.Time, Detail: ev.Detail,
+			})
+		}
+	}
+	return tl
+}
+
+// Phase returns the first phase with the given name, or nil.
+func (t *Timeline) Phase(name string) *TimelinePhase {
+	for i := range t.Phases {
+		if t.Phases[i].Name == name {
+			return &t.Phases[i]
+		}
+	}
+	return nil
+}
+
+// WriteTable renders the timeline as a human-readable table: a header
+// line, the derived phases, and every merged entry in time order.
+func (t *Timeline) WriteTable(w io.Writer) error {
+	ew := fmt.Fprintf
+	if _, err := ew(w, "trace %s", t.TraceID); err != nil {
+		return err
+	}
+	if t.JobID != "" {
+		ew(w, "  job %s", t.JobID)
+	}
+	if t.Tenant != "" {
+		ew(w, "  tenant %s", t.Tenant)
+	}
+	if t.State != "" {
+		ew(w, "  state %s", t.State)
+	}
+	ew(w, "\n")
+	if len(t.Links) > 0 {
+		ew(w, "linked traces: %s\n", strings.Join(t.Links, ", "))
+	}
+	if len(t.Phases) > 0 {
+		ew(w, "phases:\n")
+		for _, p := range t.Phases {
+			ew(w, "  %-18s %s %10.1fms  %s\n",
+				p.Name, p.Start.Format(time.RFC3339Nano), float64(p.DurUS)/1000, p.Detail)
+		}
+	}
+	ew(w, "entries:\n")
+	for _, e := range t.Entries {
+		loc := e.Benchmark
+		if e.Stage != "" {
+			if loc != "" {
+				loc += "/"
+			}
+			loc += e.Stage
+		}
+		detail := e.Detail
+		if e.Source == "span" {
+			detail = fmt.Sprintf("%.1fms %s", float64(e.DurUS)/1000, detail)
+		}
+		if _, err := ew(w, "  %-30s %-6s %-14s %-28s %s\n",
+			e.Time.Format(time.RFC3339Nano), e.Source, e.Kind, loc, strings.TrimSpace(detail)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

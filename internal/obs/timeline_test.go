@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tlEvents builds a crash-spanning event history: submit → start →
+// (crash) recover → start again with a checkpoint resume → done. Seq
+// restarts at the recovery, as a real journal's would across process
+// lifetimes.
+func tlEvents(epoch time.Time) []PipelineEvent {
+	at := func(sec int) time.Time { return epoch.Add(time.Duration(sec) * time.Second) }
+	return []PipelineEvent{
+		{Seq: 1, Time: at(0), Kind: "job.submit", Trace: "t-main", Detail: "submitted by default"},
+		{Seq: 2, Time: at(1), Kind: "job.start", Trace: "t-main"},
+		{Seq: 3, Time: at(2), Kind: "stage.start", Benchmark: "gcc", Stage: "profile", Trace: "t-main"},
+		// process died here; next lifetime's recorder restarts Seq
+		{Seq: 1, Time: at(10), Kind: "job.recover", Trace: "t-main"},
+		{Seq: 2, Time: at(12), Kind: "job.start", Trace: "t-main"},
+		{Seq: 3, Time: at(13), Kind: "checkpoint", Benchmark: "gcc", Detail: "loaded", Trace: "t-main"},
+		{Seq: 4, Time: at(20), Kind: "job.done", Trace: "t-main"},
+		{Seq: 5, Time: at(25), Kind: "job.cache", Trace: "t-late", Detail: "cache hit; canonical trace t-main"},
+	}
+}
+
+func TestBuildTimelinePhases(t *testing.T) {
+	epoch := time.Date(2026, 1, 2, 3, 0, 0, 0, time.UTC)
+	tl := BuildTimeline(TimelineInput{
+		TraceID: "t-main", JobID: "j-1", Tenant: "acme", State: "done",
+		Links:  []string{"t-late"},
+		Events: tlEvents(epoch),
+	})
+
+	var names []string
+	for _, p := range tl.Phases {
+		names = append(names, p.Name)
+	}
+	// Run #1 never terminates (the crash ate it), so it contributes no
+	// "run" phase; the recovery opens a second queue-wait instead. Phases
+	// appear in event order, so the mid-run checkpoint resume lands
+	// before its run phase closes.
+	want := []string{"queue-wait", "queue-wait", "checkpoint-resume", "run", "cache-lookup"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("phases = %v, want %v", names, want)
+	}
+
+	// First queue-wait: admission to first start = 1s.
+	if p := tl.Phases[0]; p.DurUS != time.Second.Microseconds() {
+		t.Fatalf("admission queue-wait = %dus, want 1s", p.DurUS)
+	}
+	// Recovery queue-wait is measured from the recovery transition: 2s.
+	if p := tl.Phases[1]; p.DurUS != (2 * time.Second).Microseconds() {
+		t.Fatalf("recovery queue-wait = %dus, want 2s", p.DurUS)
+	}
+	// The completed run is attempt 2 (the crash consumed attempt 1's
+	// job.start) and spans start→done = 8s.
+	run := tl.Phase("run")
+	if run == nil || run.DurUS != (8*time.Second).Microseconds() || !strings.Contains(run.Detail, "attempt 2") {
+		t.Fatalf("run phase = %+v, want 8s attempt 2", run)
+	}
+	if cp := tl.Phase("checkpoint-resume"); cp == nil || cp.Detail != "gcc" {
+		t.Fatalf("checkpoint-resume = %+v", cp)
+	}
+	if cl := tl.Phase("cache-lookup"); cl == nil {
+		t.Fatal("cache-lookup phase missing")
+	}
+}
+
+func TestBuildTimelineMergesSpansInTimeOrder(t *testing.T) {
+	epoch := time.Date(2026, 1, 2, 3, 0, 0, 0, time.UTC)
+	tl := BuildTimeline(TimelineInput{
+		TraceID: "t-main", JobID: "j-1",
+		Events: tlEvents(epoch),
+		Spans: []SpanView{
+			{ID: 1, Name: "suite", Start: 12500 * time.Millisecond, Dur: 7 * time.Second, Ended: true},
+		},
+		SpanEpoch: epoch,
+	})
+	if len(tl.Entries) != len(tlEvents(epoch))+1 {
+		t.Fatalf("%d entries, want events+span", len(tl.Entries))
+	}
+	for i := 1; i < len(tl.Entries); i++ {
+		if tl.Entries[i].Time.Before(tl.Entries[i-1].Time) {
+			t.Fatalf("entries out of time order at %d: %v then %v",
+				i, tl.Entries[i-1].Time, tl.Entries[i].Time)
+		}
+	}
+	var span *TimelineEntry
+	for i := range tl.Entries {
+		if tl.Entries[i].Source == "span" {
+			span = &tl.Entries[i]
+		}
+	}
+	if span == nil || span.Stage != "suite" || span.Trace != "t-main" ||
+		span.DurUS != (7*time.Second).Microseconds() {
+		t.Fatalf("span entry = %+v", span)
+	}
+	// 12.5s offset lands the span between job.start (12s) and the
+	// checkpoint (13s).
+	if !span.Time.Equal(epoch.Add(12500 * time.Millisecond)) {
+		t.Fatalf("span absolute time = %v", span.Time)
+	}
+
+	// The coalesced submission's row keeps its own trace.
+	var cache *TimelineEntry
+	for i := range tl.Entries {
+		if tl.Entries[i].Kind == "job.cache" {
+			cache = &tl.Entries[i]
+		}
+	}
+	if cache == nil || cache.Trace != "t-late" {
+		t.Fatalf("cache entry = %+v, want trace t-late", cache)
+	}
+}
+
+func TestTimelineWriteTable(t *testing.T) {
+	epoch := time.Date(2026, 1, 2, 3, 0, 0, 0, time.UTC)
+	tl := BuildTimeline(TimelineInput{
+		TraceID: "t-main", JobID: "j-1", Tenant: "acme", State: "done",
+		Links:  []string{"t-late"},
+		Events: tlEvents(epoch),
+	})
+	var buf bytes.Buffer
+	if err := tl.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"trace t-main", "job j-1", "tenant acme", "state done",
+		"linked traces: t-late", "queue-wait", "run", "checkpoint-resume", "job.done"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}

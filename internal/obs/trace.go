@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strings"
+)
+
+// Trace correlation: a TraceID is an opaque string minted at admission
+// (or supplied by the client) that identifies one end-to-end request
+// through serve → jobqueue → pipeline. It travels on the context, is
+// stamped onto flight-recorder events (see Recorder.SetTrace), and is
+// persisted in the job spool so it survives crash recovery — the
+// timeline reconstructor keys on it.
+
+// traceKey keys the trace ID in a context.
+type traceKey struct{}
+
+// NewTraceID mints a fresh trace ID ("t-" + 16 hex chars). IDs are
+// random, not content-derived: two submissions of identical work get
+// distinct traces, which is what lets coalescing be observed.
+func NewTraceID() string {
+	var b [8]byte
+	rand.Read(b[:])
+	return "t-" + hex.EncodeToString(b[:])
+}
+
+// WithTraceID returns a context carrying the trace ID. An empty ID
+// returns ctx unchanged.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceIDFrom returns the context's trace ID, or "" when none is
+// attached. The miss path performs no allocation — tracing must cost
+// nothing when off.
+func TraceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// maxTraceIDLen bounds client-supplied trace IDs and tenant labels so
+// hostile input can't bloat journals or metric names.
+const maxTraceIDLen = 120
+
+// SanitizeTraceID canonicalizes a client-supplied trace ID or tenant
+// label: surrounding whitespace is trimmed, control and non-ASCII bytes
+// become '_', and the result is capped at 120 bytes. Quotes and
+// backslashes survive — the Prometheus label escaper handles them.
+func SanitizeTraceID(id string) string {
+	id = strings.TrimSpace(id)
+	if len(id) > maxTraceIDLen {
+		id = id[:maxTraceIDLen]
+	}
+	clean := func(r rune) rune {
+		if r < 0x20 || r > 0x7e {
+			return '_'
+		}
+		return r
+	}
+	return strings.Map(clean, id)
+}
+
+// LabeledName builds a registry metric name carrying a Prometheus-style
+// label set: LabeledName("serve.tenant.jobs", "tenant", "acme") is
+// `serve.tenant.jobs{tenant="acme"}`. Label values are escaped here
+// (backslash, quote, newline), so the suffix is already valid exposition
+// syntax and the telemetry renderer can pass it through verbatim while
+// sanitizing only the base name. Odd trailing arguments are ignored.
+func LabeledName(name string, kv ...string) string {
+	if len(kv) < 2 {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 16)
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies Prometheus label-value escaping: backslash,
+// double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 4)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestNewTraceIDShapeAndUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if !strings.HasPrefix(id, "t-") || len(id) != 2+16 {
+			t.Fatalf("trace ID %q, want t- + 16 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("trace ID %q minted twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceIDContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := TraceIDFrom(ctx); got != "" {
+		t.Fatalf("bare context trace = %q, want empty", got)
+	}
+	ctx2 := WithTraceID(ctx, "t-abc")
+	if got := TraceIDFrom(ctx2); got != "t-abc" {
+		t.Fatalf("trace = %q, want t-abc", got)
+	}
+	// An empty ID must not wrap the context at all.
+	if WithTraceID(ctx, "") != ctx {
+		t.Fatal("WithTraceID(\"\") wrapped the context")
+	}
+}
+
+func TestSanitizeTraceID(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"  t-abc  ", "t-abc"},
+		{"plain", "plain"},
+		{"tab\tand\nnewline", "tab_and_newline"},
+		{"uniécode", "uni_code"}, // one non-ASCII rune → one '_'
+		{strings.Repeat("x", 200), strings.Repeat("x", 120)},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := SanitizeTraceID(c.in); got != c.want {
+			t.Fatalf("SanitizeTraceID(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLabeledNameEscaping(t *testing.T) {
+	cases := []struct {
+		name string
+		kv   []string
+		want string
+	}{
+		{"serve.tenant.jobs", []string{"tenant", "acme"}, `serve.tenant.jobs{tenant="acme"}`},
+		{"m", []string{"a", "1", "b", "2"}, `m{a="1",b="2"}`},
+		{"m", []string{"k", `va"l\ue` + "\n"}, `m{k="va\"l\\ue\n"}`},
+		{"bare", nil, "bare"},
+		{"odd", []string{"k"}, "odd"}, // dangling key ignored
+	}
+	for _, c := range cases {
+		if got := LabeledName(c.name, c.kv...); got != c.want {
+			t.Fatalf("LabeledName(%q, %v) = %q, want %q", c.name, c.kv, got, c.want)
+		}
+	}
+}
+
+// The disabled path must cost nothing: reading a trace from a bare
+// context, recording into a nil recorder, and emitting through a nil
+// observer are the hot no-op paths every pipeline stage hits when
+// tracing is off.
+func TestTracingDisabledPathAllocatesNothing(t *testing.T) {
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(100, func() {
+		if TraceIDFrom(ctx) != "" {
+			t.Fatal("unexpected trace")
+		}
+	}); n != 0 {
+		t.Fatalf("TraceIDFrom on a bare context allocates %.1f/op, want 0", n)
+	}
+	var r *Recorder
+	if n := testing.AllocsPerRun(100, func() {
+		r.Record(PipelineEvent{Kind: "stage.start", Trace: "t-x"})
+	}); n != 0 {
+		t.Fatalf("nil Recorder.Record allocates %.1f/op, want 0", n)
+	}
+	var o *Observer
+	if n := testing.AllocsPerRun(100, func() {
+		o.Emit(PipelineEvent{Kind: "stage.start", Trace: "t-x"})
+	}); n != 0 {
+		t.Fatalf("nil Observer.Emit allocates %.1f/op, want 0", n)
+	}
+}

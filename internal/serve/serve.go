@@ -8,14 +8,22 @@
 //
 // Endpoints:
 //
-//	POST /jobs              submit work (JSON body and/or query params)
-//	GET  /jobs              list known jobs + queue stats
-//	GET  /jobs/{id}         one job's state
-//	GET  /jobs/{id}/result  the completed suite's report JSON, verbatim
-//	GET  /jobs/{id}/events  the job's flight recorder (?stream=1 JSONL)
-//	GET  /healthz           liveness + queue stats (always 200)
-//	GET  /readyz            readiness (503 while draining)
-//	GET  /metrics ...       the shared telemetry surface (internal/telemetry)
+//	POST /jobs               submit work (JSON body and/or query params)
+//	GET  /jobs               list known jobs + queue stats
+//	GET  /jobs/{id}          one job's state
+//	GET  /jobs/{id}/result   the completed suite's report JSON, verbatim
+//	GET  /jobs/{id}/events   the job's flight recorder (?stream=1 JSONL)
+//	GET  /jobs/{id}/timeline the job's reconstructed trace timeline
+//	GET  /healthz            liveness + queue stats (always 200)
+//	GET  /readyz             readiness (503 while draining)
+//	GET  /metrics ...        the shared telemetry surface (internal/telemetry)
+//
+// Tracing: every submission carries an end-to-end correlation ID —
+// client-supplied via the X-Xbsim-Trace header (or ?trace=), minted
+// otherwise — echoed back in the response's X-Xbsim-Trace header and
+// threaded through the queue into the pipeline's events and spans. The
+// X-Xbsim-Tenant header (or ?tenant=) labels per-tenant metrics.
+// /jobs/{id}/timeline accepts a job ID or any linked trace ID.
 package serve
 
 import (
@@ -51,6 +59,9 @@ type Options struct {
 	MaxPending     int
 	Workers        int
 	EventsCapacity int
+	// JournalMaxBytes caps each job's durable event journal before
+	// rotation (zero = the obs default).
+	JournalMaxBytes int64
 	// Observer receives service and pipeline metrics; nil means a fresh
 	// observer with a metrics registry and flight recorder.
 	Observer *obs.Observer
@@ -79,12 +90,13 @@ func Start(ctx context.Context, opts Options) (*Server, error) {
 		o.Events = obs.NewRecorder(obs.DefaultRecorderCapacity)
 	}
 	q, err := jobqueue.Open(ctx, jobqueue.Options{
-		Dir:            opts.Spool,
-		Concurrency:    opts.Concurrency,
-		MaxPending:     opts.MaxPending,
-		Workers:        opts.Workers,
-		EventsCapacity: opts.EventsCapacity,
-		Observer:       o,
+		Dir:             opts.Spool,
+		Concurrency:     opts.Concurrency,
+		MaxPending:      opts.MaxPending,
+		Workers:         opts.Workers,
+		EventsCapacity:  opts.EventsCapacity,
+		JournalMaxBytes: opts.JournalMaxBytes,
+		Observer:        o,
 	})
 	if err != nil {
 		return nil, err
@@ -105,6 +117,7 @@ func Start(ctx context.Context, opts Options) (*Server, error) {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/timeline", s.handleTimeline)
 	s.th.Register(mux)
 
 	// Same timeout posture as the telemetry server: bounded read side,
@@ -186,9 +199,15 @@ type SubmitResponse struct {
 	// Cached is true when the submission hit the content-addressed
 	// result cache — the result is already available, nothing ran.
 	Cached bool `json:"cached"`
-	// ResultURL and EventsURL are the job's follow-up endpoints.
-	ResultURL string `json:"resultUrl"`
-	EventsURL string `json:"eventsUrl"`
+	// TraceID is the job's canonical trace. A coalesced or cached
+	// submission sees the canonical job's trace here; its own submitted
+	// trace is linked in Job.CoalescedTraces.
+	TraceID string `json:"traceId"`
+	// ResultURL, EventsURL, and TimelineURL are the job's follow-up
+	// endpoints.
+	ResultURL   string `json:"resultUrl"`
+	EventsURL   string `json:"eventsUrl"`
+	TimelineURL string `json:"timelineUrl"`
 }
 
 // resolve canonicalizes a submission: query parameters override body
@@ -292,7 +311,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		req.Config.Benchmarks = req.Benchmarks
 	}
 
-	job, cached, err := s.q.Submit(req.Request)
+	// Correlation metadata rides headers (query params as a curl-friendly
+	// fallback); neither participates in the job's identity.
+	sub := jobqueue.Submission{
+		TraceID: firstNonEmpty(r.Header.Get("X-Xbsim-Trace"), r.URL.Query().Get("trace")),
+		Tenant:  firstNonEmpty(r.Header.Get("X-Xbsim-Tenant"), r.URL.Query().Get("tenant")),
+	}
+	job, cached, err := s.q.SubmitTraced(req.Request, sub)
 	switch {
 	case errors.Is(err, jobqueue.ErrQueueFull):
 		// Admission control: the backlog is at its cap. Tell the client
@@ -310,16 +335,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	w.Header().Set("Location", "/jobs/"+job.ID)
+	w.Header().Set("X-Xbsim-Trace", job.TraceID)
 	status := http.StatusAccepted
 	if cached {
 		status = http.StatusOK
 	}
 	writeJSON(w, status, SubmitResponse{
-		Job:       job,
-		Cached:    cached,
-		ResultURL: "/jobs/" + job.ID + "/result",
-		EventsURL: "/jobs/" + job.ID + "/events",
+		Job:         job,
+		Cached:      cached,
+		TraceID:     job.TraceID,
+		ResultURL:   "/jobs/" + job.ID + "/result",
+		EventsURL:   "/jobs/" + job.ID + "/events",
+		TimelineURL: "/jobs/" + job.ID + "/timeline",
 	})
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
 }
 
 // ListResponse is the GET /jobs response body.
@@ -382,6 +417,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, telemetry.EventsView{Dropped: rec.Dropped(), Events: rec.Events()})
 }
 
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	// The path {id} accepts a job ID or any linked trace ID — operators
+	// usually hold the trace from a submission response or a log line.
+	tl, err := s.q.Timeline(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, tl)
+}
+
 // HealthResponse is the GET /healthz response body.
 type HealthResponse struct {
 	Status string         `json:"status"`
@@ -404,12 +450,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Write([]byte("xbsim analysis service\n\n" +
-		"POST /jobs              submit work (?preset=quick&benchmarks=swim, ?random=SEED&n=K, or JSON body)\n" +
-		"GET  /jobs              list jobs + queue stats\n" +
-		"GET  /jobs/{id}         job state\n" +
-		"GET  /jobs/{id}/result  completed suite report JSON (verbatim)\n" +
-		"GET  /jobs/{id}/events  per-job pipeline events (?stream=1 JSONL)\n" +
-		"GET  /healthz /readyz   liveness / readiness\n" +
+		"POST /jobs               submit work (?preset=quick&benchmarks=swim, ?random=SEED&n=K, or JSON body)\n" +
+		"                         trace/tenant via X-Xbsim-Trace / X-Xbsim-Tenant headers (?trace=, ?tenant=)\n" +
+		"GET  /jobs               list jobs + queue stats\n" +
+		"GET  /jobs/{id}          job state\n" +
+		"GET  /jobs/{id}/result   completed suite report JSON (verbatim)\n" +
+		"GET  /jobs/{id}/events   per-job pipeline events (?stream=1 JSONL)\n" +
+		"GET  /jobs/{id}/timeline reconstructed trace timeline (id or trace ID)\n" +
+		"GET  /healthz /readyz    liveness / readiness\n" +
 		"GET  /metrics /progress /events /attribution /profile /debug/pprof\n"))
 }
 

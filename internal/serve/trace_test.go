@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/bits"
+	"net/http"
+	"strings"
+	"testing"
+
+	"xbsim/internal/jobqueue"
+	"xbsim/internal/obs"
+)
+
+// A client-supplied trace must ride the submission end to end: echoed
+// in the response header and body, resolvable at /jobs/{id}/timeline by
+// job ID or trace ID, and visible as per-tenant series on /metrics.
+func TestTraceHeaderAndTimelineEndpoint(t *testing.T) {
+	s := startTestServer(t, Options{})
+	base := "http://" + s.Addr()
+
+	body, _ := json.Marshal(SubmitRequest{Request: jobqueue.Request{
+		Benchmarks: []string{"mcf"}, Config: testConfig(),
+	}})
+	req, err := http.NewRequest(http.MethodPost, base+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Xbsim-Trace", "t-e2e-test")
+	req.Header.Set("X-Xbsim-Tenant", "acme")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := readAll(t, resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("X-Xbsim-Trace"); got != "t-e2e-test" {
+		t.Fatalf("X-Xbsim-Trace response header = %q", got)
+	}
+	var sub SubmitResponse
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.TraceID != "t-e2e-test" || sub.Job.TraceID != "t-e2e-test" || sub.Job.Tenant != "acme" {
+		t.Fatalf("submit response trace=%q job trace=%q tenant=%q",
+			sub.TraceID, sub.Job.TraceID, sub.Job.Tenant)
+	}
+	if sub.TimelineURL != "/jobs/"+sub.Job.ID+"/timeline" {
+		t.Fatalf("timeline URL = %q", sub.TimelineURL)
+	}
+	waitResult(t, base, sub.Job.ID)
+
+	// Timeline by job ID and by trace ID resolve to the same view.
+	for _, key := range []string{sub.Job.ID, "t-e2e-test"} {
+		tresp, tdata := get(t, base+"/jobs/"+key+"/timeline")
+		if tresp.StatusCode != http.StatusOK {
+			t.Fatalf("timeline(%s) status %d: %s", key, tresp.StatusCode, tdata)
+		}
+		var tl obs.Timeline
+		if err := json.Unmarshal(tdata, &tl); err != nil {
+			t.Fatal(err)
+		}
+		if tl.JobID != sub.Job.ID || tl.TraceID != "t-e2e-test" {
+			t.Fatalf("timeline(%s) job=%q trace=%q", key, tl.JobID, tl.TraceID)
+		}
+		if tl.Phase("queue-wait") == nil || tl.Phase("run") == nil {
+			t.Fatalf("timeline(%s) phases = %+v", key, tl.Phases)
+		}
+	}
+	if nf, _ := get(t, base+"/jobs/t-nonexistent/timeline"); nf.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown timeline status %d, want 404", nf.StatusCode)
+	}
+
+	// The SLO histograms and per-tenant counters reach the Prometheus
+	// exposition.
+	mresp, mdata := get(t, base+"/metrics")
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", mresp.StatusCode)
+	}
+	for _, want := range []string{
+		"xbsim_serve_submit_to_result_ms_bucket",
+		"xbsim_serve_run_ms_count",
+		"xbsim_serve_queue_wait_ms_count",
+		`xbsim_serve_tenant_submissions_total{tenant="acme"} 1`,
+		`xbsim_serve_tenant_completed_total{tenant="acme"} 1`,
+		"xbsim_serve_queue_retry_after_sec",
+		"xbsim_serve_journal_rotations_total",
+	} {
+		if !strings.Contains(string(mdata), want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+
+	// ?trace=/?tenant= are the curl-friendly fallback for the headers;
+	// the same work resubmitted under a new trace is a cache hit whose
+	// trace links onto the canonical job.
+	resp2, data2 := postJSON(t, base+"/jobs?trace=t-via-query&tenant=beta", SubmitRequest{Request: jobqueue.Request{
+		Benchmarks: []string{"mcf"}, Config: testConfig(),
+	}})
+	if resp2.StatusCode != http.StatusOK { // duplicate work: cache hit
+		t.Fatalf("query submit status %d: %s", resp2.StatusCode, data2)
+	}
+	var sub2 SubmitResponse
+	if err := json.Unmarshal(data2, &sub2); err != nil {
+		t.Fatal(err)
+	}
+	if !sub2.Cached || sub2.TraceID != "t-e2e-test" {
+		t.Fatalf("cached submit: cached=%v canonical trace=%q", sub2.Cached, sub2.TraceID)
+	}
+	tresp, tdata := get(t, base+"/jobs/t-via-query/timeline")
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("timeline by coalesced trace: status %d: %s", tresp.StatusCode, tdata)
+	}
+}
+
+// The load test's client-observed quantiles and the server's live
+// serve.submit_to_result_ms histogram measure the same latencies from
+// the two ends of the HTTP pipe; they must agree within one
+// power-of-two bucket.
+func TestLoadTestQuantilesMatchHistogram(t *testing.T) {
+	o := obs.New()
+	s := startTestServer(t, Options{Concurrency: 2, Observer: o})
+	rec, err := LoadTest(context.Background(), LoadTestOptions{
+		BaseURL: "http://" + s.Addr(),
+		Jobs:    6,
+		Unique:  6, // all fresh: every submission lands in the histogram
+		Clients: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Completed != 6 || rec.Failed != 0 || rec.Rejected != 0 {
+		t.Fatalf("loadtest record: %+v", rec)
+	}
+
+	h := o.Metrics.Snapshot().Histograms["serve.submit_to_result_ms"]
+	if h.Count != 6 {
+		t.Fatalf("histogram count = %d, want 6", h.Count)
+	}
+	check := func(name string, clientUS uint64, q float64) {
+		clientBucket := bits.Len64(clientUS / 1000) // µs → ms, then the log2 bucket
+		serverBucket := h.QuantileBucket(q)
+		diff := clientBucket - serverBucket
+		if diff < 0 {
+			diff = -diff
+		}
+		// The client side adds submit overhead and up to one 50ms poll
+		// interval; one power-of-two bucket absorbs that.
+		if diff > 1 {
+			t.Errorf("%s: client bucket %d (%.1fms) vs server bucket %d (<=%dms) — disagree by %d",
+				name, clientBucket, float64(clientUS)/1000, serverBucket, h.QuantileBound(q), diff)
+		}
+	}
+	check("p50", rec.P50US, 0.50)
+	check("p99", rec.P99US, 0.99)
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

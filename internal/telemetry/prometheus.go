@@ -43,6 +43,18 @@ func promName(name string) string {
 	return b.String()
 }
 
+// splitLabels splits a registry metric name into its base name and the
+// optional {label} suffix produced by obs.LabeledName. Label values are
+// escaped at construction time, so the suffix is already valid
+// exposition syntax and is passed through verbatim; only the base name
+// goes through promName sanitization.
+func splitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
 // bucketBound returns the inclusive upper bound of power-of-two
 // histogram bucket i as a le label value. Bucket 0 holds zeros, bucket
 // i > 0 holds [2^(i-1), 2^i), so its largest member is 2^i - 1.
@@ -60,33 +72,71 @@ func bucketBound(i int) uint64 {
 // exposition format (version 0.0.4). Counters gain the conventional
 // _total suffix; histograms expand into cumulative _bucket series with
 // le bounds at the power-of-two bucket edges, plus _sum and _count.
-// Iteration follows the snapshot's sorted name lists, so the output is
-// byte-for-byte deterministic for a given snapshot.
+// Names built with obs.LabeledName render as one labeled series each;
+// sorted iteration clusters a family's labeled variants together, so
+// the # TYPE line is emitted once per family. Iteration follows the
+// snapshot's sorted name lists, so the output is byte-for-byte
+// deterministic for a given snapshot.
 func WritePrometheus(w io.Writer, snap obs.Snapshot) error {
 	ew := &errWriter{w: w}
+	family := ""
 	for _, name := range snap.CounterNames() {
-		pn := promName(name) + "_total"
-		ew.printf("# TYPE %s counter\n%s %d\n", pn, pn, snap.Counters[name])
+		base, labels := splitLabels(name)
+		pn := promName(base) + "_total"
+		if pn != family {
+			family = pn
+			ew.printf("# TYPE %s counter\n", pn)
+		}
+		if labels != "" {
+			ew.printf("%s{%s} %d\n", pn, labels, snap.Counters[name])
+		} else {
+			ew.printf("%s %d\n", pn, snap.Counters[name])
+		}
 	}
+	family = ""
 	for _, name := range snap.GaugeNames() {
-		pn := promName(name)
-		ew.printf("# TYPE %s gauge\n%s %g\n", pn, pn, snap.Gauges[name])
+		base, labels := splitLabels(name)
+		pn := promName(base)
+		if pn != family {
+			family = pn
+			ew.printf("# TYPE %s gauge\n", pn)
+		}
+		if labels != "" {
+			ew.printf("%s{%s} %g\n", pn, labels, snap.Gauges[name])
+		} else {
+			ew.printf("%s %g\n", pn, snap.Gauges[name])
+		}
 	}
+	family = ""
 	for _, name := range snap.HistogramNames() {
 		h := snap.Histograms[name]
-		pn := promName(name)
-		ew.printf("# TYPE %s histogram\n", pn)
+		base, labels := splitLabels(name)
+		pn := promName(base)
+		if pn != family {
+			family = pn
+			ew.printf("# TYPE %s histogram\n", pn)
+		}
+		// A labeled histogram's le joins its label set.
+		sep := ""
+		if labels != "" {
+			sep = labels + ","
+		}
 		var cum uint64
 		for i, c := range h.Buckets {
 			if c == 0 {
 				continue
 			}
 			cum += c
-			ew.printf("%s_bucket{le=\"%d\"} %d\n", pn, bucketBound(i), cum)
+			ew.printf("%s_bucket{%sle=\"%d\"} %d\n", pn, sep, bucketBound(i), cum)
 		}
-		ew.printf("%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
-		ew.printf("%s_sum %d\n", pn, h.Sum)
-		ew.printf("%s_count %d\n", pn, h.Count)
+		ew.printf("%s_bucket{%sle=\"+Inf\"} %d\n", pn, sep, h.Count)
+		if labels != "" {
+			ew.printf("%s_sum{%s} %d\n", pn, labels, h.Sum)
+			ew.printf("%s_count{%s} %d\n", pn, labels, h.Count)
+		} else {
+			ew.printf("%s_sum %d\n", pn, h.Sum)
+			ew.printf("%s_count %d\n", pn, h.Count)
+		}
 	}
 	return ew.err
 }

@@ -45,6 +45,51 @@ xbsim_stage_mapping_duration_us_count 4
 	}
 }
 
+// Labeled metrics (obs.LabeledName) render as one series per label set
+// under a single # TYPE line per family, with label-value escaping done
+// at construction surviving verbatim — pinned byte-for-byte like the
+// plain golden above.
+func TestWritePrometheusLabeledGolden(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter(obs.LabeledName("serve.tenant.submissions", "tenant", "acme")).Add(2)
+	r.Counter(obs.LabeledName("serve.tenant.submissions", "tenant", "beta")).Add(5)
+	r.Counter(obs.LabeledName("serve.tenant.submissions", "tenant", `ev"il\ten`)).Inc()
+	r.Counter("serve.jobs.completed").Add(7)
+	r.Gauge(obs.LabeledName("serve.queue.depth", "state", "pending")).Set(3)
+	h := r.Histogram(obs.LabeledName("serve.run_ms", "tenant", "acme"))
+	for _, v := range []uint64{0, 2, 900} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE xbsim_serve_jobs_completed_total counter
+xbsim_serve_jobs_completed_total 7
+# TYPE xbsim_serve_tenant_submissions_total counter
+xbsim_serve_tenant_submissions_total{tenant="acme"} 2
+xbsim_serve_tenant_submissions_total{tenant="beta"} 5
+xbsim_serve_tenant_submissions_total{tenant="ev\"il\\ten"} 1
+# TYPE xbsim_serve_queue_depth gauge
+xbsim_serve_queue_depth{state="pending"} 3
+# TYPE xbsim_serve_run_ms histogram
+xbsim_serve_run_ms_bucket{tenant="acme",le="0"} 1
+xbsim_serve_run_ms_bucket{tenant="acme",le="3"} 2
+xbsim_serve_run_ms_bucket{tenant="acme",le="1023"} 3
+xbsim_serve_run_ms_bucket{tenant="acme",le="+Inf"} 3
+xbsim_serve_run_ms_sum{tenant="acme"} 902
+xbsim_serve_run_ms_count{tenant="acme"} 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("labeled exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// One TYPE line per family even with three labeled variants.
+	if n := strings.Count(b.String(), "# TYPE xbsim_serve_tenant_submissions_total"); n != 1 {
+		t.Errorf("%d TYPE lines for the labeled counter family, want 1", n)
+	}
+}
+
 // Rendering the same snapshot twice must produce identical bytes —
 // the determinism contract behind the golden test above.
 func TestWritePrometheusDeterministic(t *testing.T) {
